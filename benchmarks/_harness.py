@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_table_*.py`` module regenerates one table of the thesis:
+it runs the corresponding algorithm on the registered instances (scaled
+budgets — see DESIGN.md), prints a paper-vs-measured table and appends
+it to ``benchmarks/results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Budgets are controlled by the REPRO_BENCH_SCALE environment variable
+(default 1.0; larger = longer runs, closer to the thesis' budgets).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from collections.abc import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def scale() -> float:
+    """Global budget multiplier (REPRO_BENCH_SCALE, default 1.0)."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """A plain-text table with aligned columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)
+
+
+def report(name: str, title: str, headers, rows) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = format_table(title, headers, rows)
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def provenance_flag(instance) -> str:
+    return "" if instance.provenance == "exact" else "*"

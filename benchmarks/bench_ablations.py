@@ -1,0 +1,193 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Five ablations, each measuring expanded search nodes (the thesis'
+implicit efficiency metric) with a feature on vs. off at equal budgets:
+
+1. reductions (simplicial / strongly-almost-simplicial) in A*-tw,
+2. pruning rule PR 2 in A*-tw,
+3. the lower-bound heuristic in A*-tw (mmw vs. both vs. none),
+4. the transposition table (extension) in A*-tw,
+5. greedy vs. exact set covering in the ghw ordering evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.decomposition import ghw_ordering_width
+from repro.instances import get_instance
+from repro.search import SearchBudget, astar_treewidth
+from repro.setcover import exact_set_cover
+
+from _harness import report, scale
+
+
+def run_reduction_ablation() -> list[list]:
+    rows = []
+    budget = SearchBudget(max_nodes=int(20000 * scale()),
+                          max_seconds=30 * scale())
+    for name in ("myciel4", "queen5_5", "grid5"):
+        graph = get_instance(name).build()
+        for use_reductions in (True, False):
+            result = astar_treewidth(
+                graph, budget=budget, use_reductions=use_reductions
+            )
+            rows.append([
+                name, "on" if use_reductions else "off",
+                result.width if result.exact else None,
+                result.stats.nodes_expanded,
+            ])
+    return rows
+
+
+def test_ablation_reductions(benchmark):
+    rows = benchmark.pedantic(run_reduction_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_reductions",
+        "Ablation — simplicial/SAS reductions in A*-tw",
+        ["graph", "reductions", "treewidth", "nodes expanded"],
+        rows,
+    )
+    # Same widths whenever both runs are exact.
+    by_graph: dict[str, dict[str, list]] = {}
+    for name, flag, width, nodes in rows:
+        by_graph.setdefault(name, {})[flag] = (width, nodes)
+    for name, result in by_graph.items():
+        w_on, _ = result["on"]
+        w_off, _ = result["off"]
+        if w_on is not None and w_off is not None:
+            assert w_on == w_off, name
+
+
+def run_pr2_ablation() -> list[list]:
+    rows = []
+    budget = SearchBudget(max_nodes=int(20000 * scale()),
+                          max_seconds=30 * scale())
+    for name in ("myciel4", "queen5_5", "grid5"):
+        graph = get_instance(name).build()
+        for use_pr2 in (True, False):
+            result = astar_treewidth(graph, budget=budget, use_pr2=use_pr2)
+            rows.append([
+                name, "on" if use_pr2 else "off",
+                result.width if result.exact else None,
+                result.stats.nodes_expanded,
+            ])
+    return rows
+
+
+def test_ablation_pr2(benchmark):
+    rows = benchmark.pedantic(run_pr2_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_pr2",
+        "Ablation — pruning rule PR 2 in A*-tw",
+        ["graph", "PR2", "treewidth", "nodes expanded"],
+        rows,
+    )
+    by_graph: dict[str, dict[str, tuple]] = {}
+    for name, flag, width, nodes in rows:
+        by_graph.setdefault(name, {})[flag] = (width, nodes)
+    for name, result in by_graph.items():
+        w_on, _ = result["on"]
+        w_off, _ = result["off"]
+        if w_on is not None and w_off is not None:
+            assert w_on == w_off, name
+
+
+def run_lower_bound_ablation() -> list[list]:
+    rows = []
+    budget = SearchBudget(max_nodes=int(20000 * scale()),
+                          max_seconds=30 * scale())
+    for name in ("myciel4", "queen5_5"):
+        graph = get_instance(name).build()
+        for mode in ("both", "mmw", "none"):
+            result = astar_treewidth(
+                graph, budget=budget, child_lower_bound=mode
+            )
+            rows.append([
+                name, mode,
+                result.width if result.exact else None,
+                result.stats.nodes_expanded,
+            ])
+    return rows
+
+
+def test_ablation_lower_bound(benchmark):
+    rows = benchmark.pedantic(run_lower_bound_ablation, rounds=1,
+                              iterations=1)
+    report(
+        "ablation_lower_bound",
+        "Ablation — child lower bound heuristic in A*-tw",
+        ["graph", "h(n)", "treewidth", "nodes expanded"],
+        rows,
+    )
+    # A stronger heuristic expands no more nodes than no heuristic on
+    # instances both solve exactly.
+    by_graph: dict[str, dict[str, tuple]] = {}
+    for name, mode, width, nodes in rows:
+        by_graph.setdefault(name, {})[mode] = (width, nodes)
+    for name, result in by_graph.items():
+        if result["both"][0] is not None and result["none"][0] is not None:
+            assert result["both"][1] <= result["none"][1] * 1.5 + 50, name
+
+
+def run_memoization_ablation() -> list[list]:
+    rows = []
+    budget = SearchBudget(max_nodes=int(20000 * scale()),
+                          max_seconds=30 * scale())
+    for name in ("queen5_5", "myciel4", "grid5"):
+        graph = get_instance(name).build()
+        for memoize in (False, True):
+            result = astar_treewidth(graph, budget=budget, memoize=memoize)
+            rows.append([
+                name, "on" if memoize else "off",
+                result.width if result.exact else None,
+                result.stats.nodes_expanded,
+            ])
+    return rows
+
+
+def test_ablation_memoization(benchmark):
+    rows = benchmark.pedantic(run_memoization_ablation, rounds=1,
+                              iterations=1)
+    report(
+        "ablation_memoization",
+        "Ablation — transposition table (extension) in A*-tw",
+        ["graph", "memoize", "treewidth", "nodes expanded"],
+        rows,
+    )
+    by_graph: dict[str, dict[str, tuple]] = {}
+    for name, flag, width, nodes in rows:
+        by_graph.setdefault(name, {})[flag] = (width, nodes)
+    for name, result in by_graph.items():
+        w_off, n_off = result["off"]
+        w_on, n_on = result["on"]
+        if w_off is not None and w_on is not None:
+            assert w_off == w_on, name
+            assert n_on <= n_off, name  # dominance never hurts
+
+
+def run_cover_ablation() -> list[list]:
+    rows = []
+    rng = random.Random(0)
+    for name in ("adder_25", "clique_15", "grid2d_8", "b06"):
+        hypergraph = get_instance(name).build()
+        ordering = hypergraph.vertex_list()
+        rng.shuffle(ordering)
+        greedy_width = ghw_ordering_width(hypergraph, ordering)
+        exact_width = ghw_ordering_width(
+            hypergraph, ordering, cover_function=exact_set_cover
+        )
+        rows.append([name, greedy_width, exact_width])
+    return rows
+
+
+def test_ablation_cover(benchmark):
+    rows = benchmark.pedantic(run_cover_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_cover",
+        "Ablation — greedy vs exact set covering in ghw evaluation",
+        ["hypergraph", "greedy width", "exact width"],
+        rows,
+    )
+    for name, greedy_width, exact_width in rows:
+        assert exact_width <= greedy_width, name

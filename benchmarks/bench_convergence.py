@@ -1,0 +1,79 @@
+"""Anytime / convergence behaviour (the thesis reports these phenomena
+in prose — §5.3 and the GA chapters — without plots; this bench emits
+the series the plots would show).
+
+* GA-tw best-width-per-generation curves (monotone nonincreasing),
+* A*-tw anytime lower bound as a function of the node budget
+  (monotone nondecreasing — §5.3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.genetic import GAParameters, ga_treewidth
+from repro.instances import get_instance
+from repro.search import SearchBudget, astar_treewidth
+
+from _harness import report, scale
+
+
+def run_ga_convergence() -> list[list]:
+    rows = []
+    generations = max(20, int(40 * scale()))
+    for name in ("queen7_7", "games120"):
+        graph = get_instance(name).build()
+        result = ga_treewidth(
+            graph,
+            GAParameters(population_size=30, generations=generations),
+            rng=random.Random(3),
+        )
+        history = result.history
+        samples = [0, len(history) // 4, len(history) // 2,
+                   3 * len(history) // 4, len(history) - 1]
+        rows.append([
+            name,
+            *(history[i] for i in samples),
+        ])
+    return rows
+
+
+def test_ga_convergence(benchmark):
+    rows = benchmark.pedantic(run_ga_convergence, rounds=1, iterations=1)
+    report(
+        "convergence_ga",
+        "GA-tw convergence (best width at 0/25/50/75/100% of the run)",
+        ["graph", "gen 0", "25%", "50%", "75%", "final"],
+        rows,
+    )
+    for row in rows:
+        series = row[1:]
+        assert all(a >= b for a, b in zip(series, series[1:])), row
+
+
+def run_astar_anytime() -> list[list]:
+    rows = []
+    budgets = [5, 25, 100, 400]
+    for name in ("queen6_6", "myciel5"):
+        graph = get_instance(name).build()
+        bounds = []
+        for nodes in budgets:
+            result = astar_treewidth(
+                graph, budget=SearchBudget(max_nodes=int(nodes * scale()))
+            )
+            bounds.append(result.lower_bound)
+        rows.append([name, *bounds])
+    return rows
+
+
+def test_astar_anytime(benchmark):
+    rows = benchmark.pedantic(run_astar_anytime, rounds=1, iterations=1)
+    report(
+        "convergence_astar",
+        "A*-tw anytime lower bounds by node budget (§5.3)",
+        ["graph", "5 nodes", "25", "100", "400"],
+        rows,
+    )
+    for row in rows:
+        series = row[1:]
+        assert all(a <= b for a, b in zip(series, series[1:])), row

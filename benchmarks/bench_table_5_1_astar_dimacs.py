@@ -1,0 +1,73 @@
+"""Table 5.1 — A*-tw on DIMACS graph colouring instances.
+
+For each instance we report the initial lower/upper bounds, the value
+A*-tw returns under a scaled budget, and whether it fixed the treewidth,
+next to the thesis' columns.  Exact-construction instances (queen*,
+myciel*) reproduce the paper's rows directly; stand-ins (*) match size
+and family only (their absolute widths legitimately differ — the shape
+being reproduced is which *kinds* of rows are fixed exactly vs. only
+bounded).
+"""
+
+from __future__ import annotations
+
+from repro.bounds import treewidth_lower_bound, treewidth_upper_bound
+from repro.instances import get_instance
+from repro.search import SearchBudget, astar_treewidth
+
+from _harness import provenance_flag, report, scale
+
+# Small/medium rows of Table 5.1 that run in Python-scale time.
+BENCH_INSTANCES = [
+    "anna", "david", "huck", "jean",
+    "queen5_5", "queen6_6", "queen7_7",
+    "myciel3", "myciel4", "myciel5",
+    "miles250", "miles500",
+    "zeroin.i.2", "zeroin.i.3",
+    "DSJC125.1",
+]
+
+
+def run_table_5_1() -> list[list]:
+    budget = SearchBudget(
+        max_nodes=int(2500 * scale()), max_seconds=15 * scale()
+    )
+    rows = []
+    for name in BENCH_INSTANCES:
+        instance = get_instance(name)
+        graph = instance.build()
+        paper = instance.paper.get("table_5_1", {})
+        lb = treewidth_lower_bound(graph)
+        ub = treewidth_upper_bound(graph)
+        result = astar_treewidth(graph, budget=budget)
+        rows.append([
+            name + provenance_flag(instance),
+            graph.num_vertices,
+            graph.num_edges,
+            lb,
+            ub,
+            result.width if result.exact else f"[{result.lower_bound},{result.upper_bound}]",
+            result.exact,
+            paper.get("astar"),
+            paper.get("astar_exact"),
+        ])
+    return rows
+
+
+def test_table_5_1(benchmark):
+    rows = benchmark.pedantic(run_table_5_1, rounds=1, iterations=1)
+    report(
+        "table_5_1",
+        "Table 5.1 — A*-tw on DIMACS graphs (* = synthetic stand-in)",
+        ["graph", "|V|", "|E|", "lb", "ub", "A*-tw", "exact",
+         "paper A*", "paper exact"],
+        rows,
+    )
+    by_name = {row[0].rstrip("*"): row for row in rows}
+    # Exact-construction rows must reproduce the paper's values.
+    assert by_name["queen5_5"][5] == 18 and by_name["queen5_5"][6]
+    assert by_name["myciel3"][5] == 5 and by_name["myciel3"][6]
+    assert by_name["myciel4"][5] == 10 and by_name["myciel4"][6]
+    # The hard exact rows stay hard: myciel5 yields bounds, not a fix,
+    # under scaled budgets — matching the paper's "*" entry shape is not
+    # asserted (a large budget may legitimately fix it).

@@ -1,0 +1,73 @@
+"""Table 6.6 — GA-tw final results on DIMACS graphs.
+
+The thesis runs GA-tw with the tuned parameters (POS, ISM, pc=1.0,
+pm=0.3, s=3, population 2000, 2000 generations) on 62 graphs and
+compares with the best published upper bounds.  We reproduce a curated
+subset at Python scale and report measured vs. the paper's ga_min and
+the prior best-known upper bound.
+
+Shape asserted: on exact-construction instances the GA's width lands
+within a small factor of the paper's GA result, and on queen5_5 /
+myciel3/4/5 it matches the published value exactly (these are small
+enough for the scaled GA to converge).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.genetic import GAParameters, ga_treewidth
+from repro.instances import get_instance
+
+from _harness import provenance_flag, report, scale
+
+BENCH_INSTANCES = [
+    "queen5_5", "queen6_6", "queen7_7", "queen8_8",
+    "myciel3", "myciel4", "myciel5", "myciel6",
+    "games120", "anna", "david", "huck", "jean",
+    "miles250", "zeroin.i.3", "DSJC125.1",
+]
+
+
+def run_table_6_6() -> list[list]:
+    rows = []
+    generations = max(20, int(60 * scale()))
+    for name in BENCH_INSTANCES:
+        instance = get_instance(name)
+        graph = instance.build()
+        paper = instance.paper.get("table_6_6", {})
+        params = GAParameters(
+            population_size=40, generations=generations,
+        )
+        result = ga_treewidth(graph, params, rng=random.Random(42))
+        rows.append([
+            name + provenance_flag(instance),
+            graph.num_vertices,
+            graph.num_edges,
+            result.best_fitness,
+            paper.get("ga_min"),
+            paper.get("best_known_ub"),
+            result.evaluations,
+        ])
+    return rows
+
+
+def test_table_6_6(benchmark):
+    rows = benchmark.pedantic(run_table_6_6, rounds=1, iterations=1)
+    report(
+        "table_6_6",
+        "Table 6.6 — GA-tw final results (* = synthetic stand-in)",
+        ["graph", "|V|", "|E|", "GA width", "paper GA min",
+         "paper best ub", "evaluations"],
+        rows,
+    )
+    by_name = {row[0].rstrip("*"): row for row in rows}
+    assert by_name["queen5_5"][3] == 18
+    assert by_name["myciel3"][3] == 5
+    assert by_name["myciel4"][3] == 10
+    assert by_name["myciel5"][3] <= 21
+    # exact families stay within ~25% of the paper's full-scale GA
+    for name in ("queen6_6", "queen7_7", "myciel6"):
+        measured = by_name[name][3]
+        paper_min = by_name[name][4]
+        assert measured <= paper_min * 1.25 + 2, (name, measured, paper_min)

@@ -1,0 +1,70 @@
+"""Tables 8.1–8.2 — BB-ghw on CSP hypergraph library instances.
+
+The thesis' result shape: BB-ghw *fixes* the exact generalized hypertree
+width of some benchmark hypergraphs (small members of the structured
+families) and returns improved upper bounds plus proven lower bounds on
+the rest.  The concrete table rows were truncated in our source, so the
+reproduction asserts the family-level facts that are fully determined:
+
+* ghw(adder_n) = 2 for n >= 2 — fixed exactly on small adders,
+* ghw(clique_n) = ceil(n/2) — fixed exactly on small cliques,
+* ghw(grid2d_4) small and fixed,
+* larger instances produce consistent anytime bounds under budget.
+"""
+
+from __future__ import annotations
+
+from repro.instances import get_instance
+from repro.search import SearchBudget, branch_and_bound_ghw
+
+from _harness import provenance_flag, report, scale
+
+EXACT_INSTANCES = [
+    "adder_5", "adder_10", "adder_15",
+    "clique_6", "clique_8", "clique_10",
+    "grid2d_4",
+]
+BUDGETED_INSTANCES = ["bridge_10", "grid2d_6", "b06", "clique_15"]
+
+
+def run_tables_8() -> list[list]:
+    rows = []
+    for name in EXACT_INSTANCES + BUDGETED_INSTANCES:
+        instance = get_instance(name)
+        hypergraph = instance.build()
+        budget = SearchBudget(
+            max_nodes=int(3000 * scale()), max_seconds=20 * scale()
+        )
+        result = branch_and_bound_ghw(hypergraph, budget=budget)
+        rows.append([
+            name + provenance_flag(instance),
+            hypergraph.num_vertices,
+            hypergraph.num_edges,
+            result.lower_bound,
+            result.upper_bound,
+            result.exact,
+            result.stats.nodes_expanded,
+        ])
+    return rows
+
+
+def test_tables_8(benchmark):
+    rows = benchmark.pedantic(run_tables_8, rounds=1, iterations=1)
+    report(
+        "table_8_bb_ghw",
+        "Tables 8.1-8.2 — BB-ghw exact ghw and anytime bounds "
+        "(* = synthetic stand-in)",
+        ["hypergraph", "|V|", "|H|", "lb", "ub", "exact", "nodes"],
+        rows,
+    )
+    by_name = {row[0].rstrip("*"): row for row in rows}
+    # Exactly-known family values:
+    for name in ("adder_5", "adder_10", "adder_15"):
+        assert by_name[name][5] is True and by_name[name][4] == 2, name
+    for name, n in (("clique_6", 6), ("clique_8", 8), ("clique_10", 10)):
+        assert by_name[name][5] is True and by_name[name][4] == n // 2
+    assert by_name["grid2d_4"][5] is True
+    # Anytime rows stay bracketed.
+    for name in BUDGETED_INSTANCES:
+        row = by_name[name]
+        assert row[3] <= row[4], row

@@ -1,0 +1,68 @@
+"""Tables 9.1–9.2 — A*-ghw on CSP hypergraph library instances.
+
+The thesis' result shape: A*-ghw fixes the exact ghw of some instances
+and — its distinctive strength versus BB-ghw — returns improved *lower*
+bounds on interrupted runs (the last popped f-value is a proven bound).
+The concrete table rows were truncated in our source; we reproduce the
+determined family values and the lower-bound-improvement behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.bounds import ghw_lower_bound
+from repro.instances import get_instance
+from repro.search import SearchBudget, astar_ghw
+
+from _harness import provenance_flag, report, scale
+
+EXACT_INSTANCES = [
+    "adder_5", "adder_10",
+    "clique_6", "clique_8", "clique_10",
+    "grid2d_4",
+]
+BUDGETED_INSTANCES = ["bridge_10", "grid2d_6", "b06", "clique_15"]
+
+
+def run_tables_9() -> list[list]:
+    rows = []
+    for name in EXACT_INSTANCES + BUDGETED_INSTANCES:
+        instance = get_instance(name)
+        hypergraph = instance.build()
+        static_lb = ghw_lower_bound(hypergraph)
+        budget = SearchBudget(
+            max_nodes=int(3000 * scale()), max_seconds=20 * scale()
+        )
+        result = astar_ghw(hypergraph, budget=budget)
+        rows.append([
+            name + provenance_flag(instance),
+            hypergraph.num_vertices,
+            hypergraph.num_edges,
+            static_lb,
+            result.lower_bound,
+            result.upper_bound,
+            result.exact,
+            result.stats.nodes_expanded,
+        ])
+    return rows
+
+
+def test_tables_9(benchmark):
+    rows = benchmark.pedantic(run_tables_9, rounds=1, iterations=1)
+    report(
+        "table_9_astar_ghw",
+        "Tables 9.1-9.2 — A*-ghw exact ghw and anytime lower bounds "
+        "(* = synthetic stand-in)",
+        ["hypergraph", "|V|", "|H|", "static lb", "A* lb", "A* ub",
+         "exact", "nodes"],
+        rows,
+    )
+    by_name = {row[0].rstrip("*"): row for row in rows}
+    for name in ("adder_5", "adder_10"):
+        assert by_name[name][6] is True and by_name[name][5] == 2, name
+    for name, n in (("clique_6", 6), ("clique_8", 8), ("clique_10", 10)):
+        assert by_name[name][6] is True and by_name[name][5] == n // 2
+    # The A* anytime lower bound never falls below the static heuristic
+    # bound (§5.3 / Ch. 9's improved-lower-bound claim).
+    for row in rows:
+        assert row[4] >= row[3], row
+        assert row[4] <= row[5], row

@@ -1,0 +1,78 @@
+"""The width family side by side: tw vs ghw vs hw.
+
+Not a thesis table — this is the comparison the surrounding literature
+("Hypertree Decompositions: Questions and Answers") keeps making:
+``ghw(H) ≤ hw(H) ≤ tw(H) + 1``, with the gap widest on clique-heavy
+hypergraphs (where a single hyperedge covers what treewidth pays for
+vertex by vertex).  All three are computed exactly on small instances.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    clique_hypergraph,
+    grid2d_hypergraph,
+)
+from repro.hypergraph import Hypergraph
+from repro.search import (
+    SearchBudget,
+    astar_treewidth,
+    branch_and_bound_ghw,
+    hypertree_width,
+)
+
+from _harness import report, scale
+
+INSTANCES = [
+    ("clique_6", lambda: clique_hypergraph(6)),
+    ("clique_8", lambda: clique_hypergraph(8)),
+    ("adder_4", lambda: adder_hypergraph(4)),
+    ("adder_6", lambda: adder_hypergraph(6)),
+    ("grid2d_4", lambda: grid2d_hypergraph(4)),
+    ("triangle", lambda: Hypergraph(
+        edges={"a": {1, 2}, "b": {2, 3}, "c": {1, 3}})),
+    ("path", lambda: Hypergraph(
+        edges={"a": {1, 2}, "b": {2, 3}, "c": {3, 4}})),
+]
+
+
+def run_width_family() -> list[list]:
+    rows = []
+    budget = SearchBudget(max_nodes=int(4000 * scale()),
+                          max_seconds=30 * scale())
+    for name, factory in INSTANCES:
+        h = factory()
+        tw = astar_treewidth(h, budget=budget)
+        ghw = branch_and_bound_ghw(h, budget=budget)
+        hw, _htd = hypertree_width(h)
+        rows.append([
+            name,
+            h.num_vertices,
+            h.num_edges,
+            tw.width if tw.exact else f">={tw.lower_bound}",
+            ghw.width if ghw.exact else f">={ghw.lower_bound}",
+            hw,
+        ])
+    return rows
+
+
+def test_width_family(benchmark):
+    rows = benchmark.pedantic(run_width_family, rounds=1, iterations=1)
+    report(
+        "width_family",
+        "The width family: tw vs ghw vs hw (all exact)",
+        ["hypergraph", "|V|", "|H|", "tw", "ghw", "hw"],
+        rows,
+    )
+    for row in rows:
+        tw, ghw, hw = row[3], row[4], row[5]
+        if isinstance(tw, int) and isinstance(ghw, int):
+            assert ghw <= hw <= tw + 1, row
+    by_name = {row[0]: row for row in rows}
+    # The headline gap: cliques have tw = n-1 but ghw = hw = ceil(n/2).
+    assert by_name["clique_8"][3] == 7
+    assert by_name["clique_8"][4] == 4
+    assert by_name["clique_8"][5] == 4
+    # Acyclic instances have hw = 1.
+    assert by_name["path"][5] == 1

@@ -1,0 +1,66 @@
+"""repro — heuristic methods for tree decompositions and generalized
+hypertree decompositions.
+
+A faithful, from-scratch reproduction of W. Schafhauser, *New Heuristic
+Methods for Tree Decompositions and Generalized Hypertree Decompositions*
+(TU Wien, 2006; supervised by G. Gottlob and N. Musliu) — the algorithmic
+content behind the hypertree-decomposition line of work surveyed in
+"Hypertree Decompositions: Questions and Answers" (PODS 2016).
+
+Top-level quick tour::
+
+    from repro import Graph, Hypergraph
+    from repro.bounds import min_fill_ordering, treewidth_lower_bound
+    from repro.decomposition import bucket_elimination, ghd_from_ordering
+    from repro.search import astar_treewidth, branch_and_bound_ghw
+    from repro.genetic import ga_treewidth, ga_ghw, saiga_ghw
+    from repro.csp import CSP, solve
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table.
+"""
+
+from .hypergraph import Graph, Hypergraph
+from .decomposition import (
+    GeneralizedHypertreeDecomposition,
+    TreeDecomposition,
+    bucket_elimination,
+    ghd_from_ordering,
+    ghw_ordering_width,
+    ordering_width,
+    vertex_elimination,
+)
+from .search import (
+    SearchBudget,
+    SearchResult,
+    astar_ghw,
+    astar_treewidth,
+    branch_and_bound_ghw,
+    branch_and_bound_treewidth,
+)
+from .genetic import GAParameters, ga_ghw, ga_treewidth, saiga_ghw
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAParameters",
+    "GeneralizedHypertreeDecomposition",
+    "Graph",
+    "Hypergraph",
+    "SearchBudget",
+    "SearchResult",
+    "TreeDecomposition",
+    "astar_ghw",
+    "astar_treewidth",
+    "branch_and_bound_ghw",
+    "branch_and_bound_treewidth",
+    "bucket_elimination",
+    "ga_ghw",
+    "ga_treewidth",
+    "ghd_from_ordering",
+    "ghw_ordering_width",
+    "ordering_width",
+    "saiga_ghw",
+    "vertex_elimination",
+    "__version__",
+]

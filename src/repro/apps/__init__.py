@@ -1,0 +1,24 @@
+"""Downstream applications of tree decompositions: dynamic programming
+solvers whose running time is exponential only in the decomposition
+width this package's heuristics minimize."""
+
+from .coloring import (
+    brute_force_color_count,
+    count_colorings,
+    is_k_colorable,
+)
+from .dominating_set import (
+    brute_force_dominating_set,
+    min_weight_dominating_set,
+)
+from .independent_set import brute_force_mwis, max_weight_independent_set
+
+__all__ = [
+    "brute_force_color_count",
+    "brute_force_dominating_set",
+    "brute_force_mwis",
+    "count_colorings",
+    "is_k_colorable",
+    "max_weight_independent_set",
+    "min_weight_dominating_set",
+]

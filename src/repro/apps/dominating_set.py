@@ -1,0 +1,190 @@
+"""Minimum-weight dominating set via DP on a tree decomposition.
+
+The three-state classic (Cygan et al., *Parameterized Algorithms* §7.3):
+every bag vertex is **black** (in the set), **white** (already dominated
+by an introduced black neighbor) or **gray** (not yet dominated — must
+pick up a black neighbor before being forgotten).  O(3^w) table entries
+per node.
+
+Transitions on a nice tree decomposition:
+
+* introduce(v): v may enter black (cost + w(v); bag neighbors that were
+  gray become white), gray (always), or white (only if a bag neighbor
+  is already black);
+* forget(v): gray is forbidden — take the best of black/white;
+* join: children agree on blacks; a non-black vertex is white iff it is
+  white in at least one child; black weights are de-duplicated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from ..bounds.upper import min_fill_ordering
+from ..decomposition.elimination import bucket_elimination
+from ..decomposition.nice import NiceTreeDecomposition
+from ..decomposition.tree_decomposition import TreeDecomposition
+from ..hypergraph.graph import Graph, Vertex
+
+BLACK, WHITE, GRAY = "b", "w", "g"
+
+
+def min_weight_dominating_set(
+    graph: Graph,
+    weights: Mapping[Vertex, float] | None = None,
+    td: TreeDecomposition | None = None,
+) -> tuple[float, set]:
+    """Return ``(weight, vertex set)`` of a minimum-weight dominating
+    set of ``graph``.
+
+    Isolated vertices must dominate themselves and are always included;
+    the empty graph yields ``(0, set())``.
+    """
+    if graph.num_vertices == 0:
+        return (0, set())
+    weight = dict.fromkeys(graph.vertex_list(), 1)
+    if weights is not None:
+        weight.update(weights)
+    if td is None:
+        td = bucket_elimination(graph, min_fill_ordering(graph))
+    nice = NiceTreeDecomposition.from_tree_decomposition(td, graph)
+
+    # tables[node]: {state tuple (sorted (v, color)): best cost}
+    tables: dict[int, dict[tuple, float]] = {}
+    choices: dict[int, dict[tuple, tuple]] = {}
+
+    for node in nice.postorder():
+        table: dict[tuple, float] = {}
+        choice: dict[tuple, tuple] = {}
+        if node.kind == "leaf":
+            table[()] = 0.0
+            choice[()] = ()
+        elif node.kind == "introduce":
+            child = node.children[0]
+            v = node.vertex
+            nbrs = graph.neighbors(v) & node.bag
+            for state, cost in tables[child].items():
+                colors = dict(state)
+                # v black: gray bag-neighbors become white.
+                black_colors = dict(colors)
+                for u in nbrs:
+                    if black_colors.get(u) == GRAY:
+                        black_colors[u] = WHITE
+                black_colors[v] = BLACK
+                _relax(table, choice, _key(black_colors),
+                       cost + weight[v], (state,))
+                # v gray: always allowed.
+                gray_colors = dict(colors)
+                gray_colors[v] = GRAY
+                _relax(table, choice, _key(gray_colors), cost, (state,))
+                # v white: needs an already-black bag neighbor.
+                if any(colors.get(u) == BLACK for u in nbrs):
+                    white_colors = dict(colors)
+                    white_colors[v] = WHITE
+                    _relax(table, choice, _key(white_colors), cost,
+                           (state,))
+        elif node.kind == "forget":
+            child = node.children[0]
+            v = node.vertex
+            for state, cost in tables[child].items():
+                colors = dict(state)
+                if colors[v] == GRAY:
+                    continue  # forgetting an undominated vertex: illegal
+                del colors[v]
+                _relax(table, choice, _key(colors), cost, (state,))
+        elif node.kind == "join":
+            left, right = node.children
+            by_blacks: dict[frozenset, list[tuple]] = {}
+            for state in tables[right]:
+                blacks = frozenset(v for v, c in state if c == BLACK)
+                by_blacks.setdefault(blacks, []).append(state)
+            black_weight_cache: dict[frozenset, float] = {}
+            for lstate, lcost in tables[left].items():
+                blacks = frozenset(v for v, c in lstate if c == BLACK)
+                bw = black_weight_cache.get(blacks)
+                if bw is None:
+                    bw = sum(weight[v] for v in blacks)
+                    black_weight_cache[blacks] = bw
+                lcolors = dict(lstate)
+                for rstate in by_blacks.get(blacks, ()):
+                    rcolors = dict(rstate)
+                    combined = {}
+                    for v in node.bag:
+                        if lcolors[v] == BLACK:
+                            combined[v] = BLACK
+                        elif WHITE in (lcolors[v], rcolors[v]):
+                            combined[v] = WHITE
+                        else:
+                            combined[v] = GRAY
+                    cost = lcost + tables[right][rstate] - bw
+                    _relax(table, choice, _key(combined), cost,
+                           (lstate, rstate))
+        else:  # pragma: no cover
+            raise AssertionError(node.kind)
+        tables[node.identifier] = table
+        choices[node.identifier] = choice
+
+    root_table = tables[nice.root.identifier]
+    if () not in root_table:
+        raise AssertionError("internal error: no feasible root state")
+    best = root_table[()]
+    solution = _reconstruct(nice, choices)
+    return (best, solution)
+
+
+def _key(colors: dict) -> tuple:
+    return tuple(sorted(colors.items(), key=lambda kv: repr(kv[0])))
+
+
+def _relax(table, choice, key, cost, child_states) -> None:
+    if key not in table or cost < table[key]:
+        table[key] = cost
+        choice[key] = child_states
+
+
+def _reconstruct(nice: NiceTreeDecomposition, choices) -> set:
+    solution: set = set()
+    stack = [(nice.root.identifier, ())]
+    while stack:
+        node_id, state = stack.pop()
+        node = nice.node(node_id)
+        for v, color in state:
+            if color == BLACK:
+                solution.add(v)
+        child_states = choices[node_id][state]
+        for child_id, child_state in zip(node.children, child_states):
+            stack.append((child_id, child_state))
+    return solution
+
+
+def brute_force_dominating_set(
+    graph: Graph, weights: Mapping[Vertex, float] | None = None
+) -> float:
+    """Reference oracle (tiny graphs only)."""
+    vertices = graph.vertex_list()
+    if len(vertices) > 16:
+        raise ValueError("brute force is limited to 16 vertices")
+    weight = dict.fromkeys(vertices, 1)
+    if weights is not None:
+        weight.update(weights)
+    best: float | None = None
+    for size in range(len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            chosen = set(subset)
+            if _dominates(graph, chosen):
+                cost = sum(weight[v] for v in chosen)
+                if best is None or cost < best:
+                    best = cost
+        # cannot break early with weights; keep scanning all sizes
+    assert best is not None  # the full vertex set always dominates
+    return best
+
+
+def _dominates(graph: Graph, chosen: set) -> bool:
+    for v in graph.vertex_list():
+        if v in chosen:
+            continue
+        if not (graph.neighbors(v) & chosen):
+            return False
+    return True

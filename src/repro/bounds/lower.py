@@ -1,0 +1,150 @@
+"""Lower-bound heuristics for treewidth (thesis §4.4.2, Figs. 4.7–4.8).
+
+* **MMD / degeneracy** — the maximum over subgraphs of the minimum degree,
+  computed by repeatedly removing a minimum-degree vertex.
+* **γ_R (Ramachandramurthi)** — the minimum over non-adjacent vertex pairs
+  of the larger degree (the minimum degree if the graph is complete).
+* **minor-min-width (MMD+(least-c), Fig. 4.7)** — like MMD but *contract*
+  the edge from a minimum-degree vertex to its least-degree neighbor,
+  staying within the minor order.
+* **minor-γ_R (Fig. 4.8)** — γ_R driven through the same contraction loop.
+
+All bounds are sound: each returns a value ≤ tw(G).  They accept graphs
+or hypergraphs (via the primal graph; Lemma 1 makes this sound for
+treewidth).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..hypergraph.graph import Graph, Vertex
+from ..hypergraph.hypergraph import Hypergraph
+
+
+def _as_graph(structure: Graph | Hypergraph) -> Graph:
+    if isinstance(structure, Hypergraph):
+        return structure.primal_graph()
+    return structure.copy()
+
+
+def _min_degree_pick(graph: Graph, rng: random.Random | None) -> Vertex:
+    best_degree: int | None = None
+    best: list[Vertex] = []
+    for vertex in graph.vertex_list():
+        d = graph.degree(vertex)
+        if best_degree is None or d < best_degree:
+            best_degree = d
+            best = [vertex]
+        elif d == best_degree:
+            best.append(vertex)
+    if rng is not None and len(best) > 1:
+        return best[rng.randrange(len(best))]
+    return min(best, key=repr)
+
+
+def _least_degree_neighbor(
+    graph: Graph, vertex: Vertex, rng: random.Random | None
+) -> Vertex | None:
+    nbrs = graph.neighbors(vertex)
+    if not nbrs:
+        return None
+    best_degree = min(graph.degree(u) for u in nbrs)
+    best = [u for u in nbrs if graph.degree(u) == best_degree]
+    if rng is not None and len(best) > 1:
+        return best[rng.randrange(len(best))]
+    return min(best, key=repr)
+
+
+def degeneracy_lower_bound(structure: Graph | Hypergraph) -> int:
+    """MMD: max over the removal sequence of the minimum degree."""
+    graph = _as_graph(structure)
+    bound = 0
+    while len(graph) > 0:
+        vertex = _min_degree_pick(graph, None)
+        bound = max(bound, graph.degree(vertex))
+        graph.remove_vertex(vertex)
+    return bound
+
+
+def gamma_r(graph: Graph) -> int:
+    """The Ramachandramurthi γ_R parameter of a graph.
+
+    γ_R is ``n - 1`` for complete graphs and otherwise the minimum over
+    non-adjacent pairs (u, v) of ``max(degree(u), degree(v))``; it is a
+    treewidth lower bound.
+    """
+    vertices = graph.vertex_list()
+    n = len(vertices)
+    if n == 0:
+        return 0
+    degrees = {v: graph.degree(v) for v in vertices}
+    by_degree = sorted(vertices, key=lambda v: (degrees[v], repr(v)))
+    best: int | None = None
+    for i, u in enumerate(by_degree):
+        if best is not None and degrees[u] >= best:
+            break  # every later pair has max-degree >= current best
+        for v in by_degree[i + 1:]:
+            if not graph.has_edge(u, v):
+                pair = max(degrees[u], degrees[v])
+                if best is None or pair < best:
+                    best = pair
+                break  # neighbors sorted by degree: first non-adjacent wins
+    if best is None:
+        return n - 1  # complete graph
+    return best
+
+
+def minor_min_width(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> int:
+    """Algorithm *minor-min-width* (Fig. 4.7): contract the edge between a
+    minimum-degree vertex and its least-degree neighbor, tracking the
+    maximum minimum degree seen."""
+    graph = _as_graph(structure)
+    bound = 0
+    while len(graph) > 0:
+        vertex = _min_degree_pick(graph, rng)
+        bound = max(bound, graph.degree(vertex))
+        neighbor = _least_degree_neighbor(graph, vertex, rng)
+        if neighbor is None:
+            graph.remove_vertex(vertex)
+        else:
+            graph.contract_edge(neighbor, vertex)
+    return bound
+
+
+def minor_gamma_r(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> int:
+    """Algorithm *minor-γ_R* (Fig. 4.8): evaluate γ_R along the same
+    contraction sequence and keep the maximum."""
+    graph = _as_graph(structure)
+    bound = 0
+    while len(graph) > 0:
+        bound = max(bound, gamma_r(graph))
+        vertex = _min_degree_pick(graph, rng)
+        neighbor = _least_degree_neighbor(graph, vertex, rng)
+        if neighbor is None:
+            graph.remove_vertex(vertex)
+        else:
+            graph.contract_edge(neighbor, vertex)
+    return bound
+
+
+def treewidth_lower_bound(
+    structure: Graph | Hypergraph,
+    rng: random.Random | None = None,
+    runs: int = 1,
+) -> int:
+    """The combined bound used by A*-tw: the best of minor-min-width and
+    minor-γ_R over ``runs`` randomized repetitions (§5.1)."""
+    best = 0
+    for i in range(max(1, runs)):
+        run_rng = rng if rng is not None else None
+        best = max(
+            best,
+            minor_min_width(structure, run_rng),
+            minor_gamma_r(structure, run_rng),
+        )
+    return best

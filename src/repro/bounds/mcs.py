@@ -1,0 +1,102 @@
+"""Maximum cardinality search, perfect elimination orderings and
+chordality.
+
+Chordal graphs are where elimination orderings are lossless: a graph is
+chordal iff it has a *perfect* elimination ordering (one producing no
+fill), and then bucket elimination yields an optimal tree decomposition
+whose width is the clique number minus one.  The thesis' reductions
+(simplicial vertices, §4.4.3) are exactly the chordal fragments of a
+graph; MCS provides the classic linear-time certificate.
+
+Conventions: orderings are first-eliminated-first, as everywhere in
+this package.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..hypergraph.graph import Graph, Vertex
+from ..hypergraph.hypergraph import Hypergraph
+
+
+def _as_graph(structure: Graph | Hypergraph) -> Graph:
+    if isinstance(structure, Hypergraph):
+        return structure.primal_graph()
+    return structure.copy()
+
+
+def mcs_ordering(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> list[Vertex]:
+    """Maximum cardinality search ordering (Tarjan & Yannakakis).
+
+    Visit vertices one by one, always taking a vertex with the most
+    already-visited neighbors; the *reverse* visit order is returned,
+    so that for chordal graphs the result is a perfect elimination
+    ordering.
+    """
+    graph = _as_graph(structure)
+    weights: dict[Vertex, int] = {v: 0 for v in graph.vertex_list()}
+    visited: list[Vertex] = []
+    unvisited = dict.fromkeys(graph.vertex_list())
+    while unvisited:
+        best_weight = max(weights[v] for v in unvisited)
+        ties = [v for v in unvisited if weights[v] == best_weight]
+        if rng is not None and len(ties) > 1:
+            vertex = ties[rng.randrange(len(ties))]
+        else:
+            vertex = min(ties, key=repr)
+        visited.append(vertex)
+        del unvisited[vertex]
+        for u in graph.neighbors(vertex):
+            if u in unvisited:
+                weights[u] += 1
+    visited.reverse()
+    return visited
+
+
+def fill_in_of_ordering(
+    structure: Graph | Hypergraph, ordering: list[Vertex]
+) -> int:
+    """Total number of fill edges the ordering inserts (0 iff perfect)."""
+    graph = _as_graph(structure)
+    total = 0
+    for vertex in ordering:
+        record = graph.eliminate(vertex)
+        total += len(record.fill_edges)
+    return total
+
+
+def is_perfect_elimination_ordering(
+    structure: Graph | Hypergraph, ordering: list[Vertex]
+) -> bool:
+    """True iff eliminating along ``ordering`` inserts no fill edges."""
+    return fill_in_of_ordering(structure, ordering) == 0
+
+
+def is_chordal(structure: Graph | Hypergraph) -> bool:
+    """Chordality test: the MCS ordering of a chordal graph is perfect
+    (Tarjan–Yannakakis); conversely any perfect ordering certifies
+    chordality."""
+    graph = _as_graph(structure)
+    if graph.num_vertices == 0:
+        return True
+    return is_perfect_elimination_ordering(graph, mcs_ordering(graph))
+
+
+def chordal_treewidth(structure: Graph | Hypergraph) -> int:
+    """Exact treewidth of a *chordal* graph: the largest bag of the MCS
+    ordering minus one (= clique number − 1).
+
+    Raises :class:`ValueError` on non-chordal inputs.
+    """
+    from ..decomposition.elimination import ordering_width
+
+    graph = _as_graph(structure)
+    if graph.num_vertices == 0:
+        return 0
+    ordering = mcs_ordering(graph)
+    if not is_perfect_elimination_ordering(graph, ordering):
+        raise ValueError("graph is not chordal")
+    return ordering_width(graph, ordering)

@@ -1,0 +1,140 @@
+"""Upper-bound ordering heuristics for treewidth (thesis §4.4.2).
+
+Greedy vertex-ordering constructions; the width of the resulting ordering
+(via :func:`repro.decomposition.ordering_width`) is an upper bound on the
+treewidth.  All heuristics run on a scratch copy of the graph, eliminating
+one vertex per step:
+
+* **min-fill** — pick the vertex whose elimination inserts the fewest
+  fill edges (QuickBB's initial upper bound).
+* **min-degree** — pick a minimum-degree vertex.
+* **min-width** — pick a minimum-degree vertex but *remove* instead of
+  eliminate (no fill), yielding the degeneracy ordering.
+
+Orderings are first-eliminated-first.  Ties break randomly with an
+``rng`` (as in the thesis) or deterministically otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from ..decomposition.elimination import ordering_width
+from ..hypergraph.graph import Graph, Vertex
+from ..hypergraph.hypergraph import Hypergraph
+
+
+def _as_graph(structure: Graph | Hypergraph) -> Graph:
+    if isinstance(structure, Hypergraph):
+        return structure.primal_graph()
+    return structure.copy()
+
+
+def _pick(
+    graph: Graph,
+    score: Callable[[Graph, Vertex], int],
+    rng: random.Random | None,
+) -> Vertex:
+    best_score: int | None = None
+    best: list[Vertex] = []
+    for vertex in graph.vertex_list():
+        s = score(graph, vertex)
+        if best_score is None or s < best_score:
+            best_score = s
+            best = [vertex]
+        elif s == best_score:
+            best.append(vertex)
+    if rng is not None and len(best) > 1:
+        return best[rng.randrange(len(best))]
+    return min(best, key=repr)
+
+
+def min_fill_ordering(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> list[Vertex]:
+    """The min-fill elimination ordering (thesis §4.4.2).
+
+    Fill-in counts are maintained incrementally: eliminating ``v`` only
+    changes the count of vertices whose neighborhood or neighborhood
+    adjacency changed — v's neighbors, fill-edge endpoints, and common
+    neighbors of fill-edge endpoints.
+    """
+    graph = _as_graph(structure)
+    fill = {v: graph.fill_in_count(v) for v in graph.vertex_list()}
+    ordering: list[Vertex] = []
+    while len(graph) > 0:
+        best_fill = min(fill.values())
+        candidates = [v for v, f in fill.items() if f == best_fill]
+        if rng is not None and len(candidates) > 1:
+            vertex = candidates[rng.randrange(len(candidates))]
+        else:
+            vertex = min(candidates, key=repr)
+        ordering.append(vertex)
+        affected = graph.neighbors(vertex)
+        record = graph.eliminate(vertex)
+        for a, b in record.fill_edges:
+            affected.add(a)
+            affected.add(b)
+            affected |= graph.neighbors(a) & graph.neighbors(b)
+        del fill[vertex]
+        for u in affected:
+            if u in fill:
+                fill[u] = graph.fill_in_count(u)
+    return ordering
+
+
+def min_degree_ordering(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> list[Vertex]:
+    """The min-degree elimination ordering."""
+    graph = _as_graph(structure)
+    ordering: list[Vertex] = []
+    while len(graph) > 0:
+        vertex = _pick(graph, lambda g, v: g.degree(v), rng)
+        ordering.append(vertex)
+        graph.eliminate(vertex)
+    return ordering
+
+
+def min_width_ordering(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> list[Vertex]:
+    """The min-width (degeneracy) ordering: remove, never fill."""
+    graph = _as_graph(structure)
+    ordering: list[Vertex] = []
+    while len(graph) > 0:
+        vertex = _pick(graph, lambda g, v: g.degree(v), rng)
+        ordering.append(vertex)
+        graph.remove_vertex(vertex)
+    return ordering
+
+
+def best_heuristic_ordering(
+    structure: Graph | Hypergraph,
+    rng: random.Random | None = None,
+    heuristics: Sequence[Callable] = (
+        min_fill_ordering,
+        min_degree_ordering,
+        min_width_ordering,
+    ),
+) -> tuple[list[Vertex], int]:
+    """Run several ordering heuristics and return ``(ordering, width)`` of
+    the best one — the combined initial upper bound used by the searches."""
+    best_ordering: list[Vertex] | None = None
+    best_width: int | None = None
+    for heuristic in heuristics:
+        ordering = heuristic(structure, rng)
+        width = ordering_width(structure, ordering)
+        if best_width is None or width < best_width:
+            best_width = width
+            best_ordering = ordering
+    assert best_ordering is not None and best_width is not None
+    return best_ordering, best_width
+
+
+def treewidth_upper_bound(
+    structure: Graph | Hypergraph, rng: random.Random | None = None
+) -> int:
+    """Width of the best heuristic ordering — an upper bound on tw."""
+    return best_heuristic_ordering(structure, rng)[1]

@@ -1,0 +1,204 @@
+"""Command-line interface: width computation and decomposition from the
+shell.
+
+Usage::
+
+    python -m repro tw   <instance-or-file> [--budget SECONDS] [--ga]
+    python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
+    python -m repro decompose <instance-or-file> [--output FILE]
+    python -m repro instances [--kind graph|hypergraph]
+
+``<instance-or-file>`` is either a registered benchmark instance name
+(see ``python -m repro instances``) or a path to a DIMACS ``.col`` file
+(graphs) / hypergraph edge-list file (hyperedges ``name(v1,v2,...)``) —
+the format is sniffed from the contents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+
+from .bounds import min_fill_ordering
+from .decomposition import bucket_elimination, ordering_width
+from .genetic import GAParameters, ga_ghw, ga_treewidth
+from .hypergraph import Graph, Hypergraph, parse_dimacs, parse_hypergraph
+from .hypergraph.io import write_tree_decomposition
+from .instances import UnknownInstanceError, get_instance, list_instances
+from .search import (
+    SearchBudget,
+    astar_treewidth,
+    branch_and_bound_ghw,
+)
+
+
+def load_structure(spec: str) -> Graph | Hypergraph:
+    """Resolve an instance name or parse a file path."""
+    path = pathlib.Path(spec)
+    if path.exists():
+        text = path.read_text()
+        stripped = next(
+            (line for line in text.splitlines()
+             if line.strip() and not line.startswith(("c", "%", "//"))),
+            "",
+        )
+        if stripped.startswith("p tw"):
+            from .hypergraph import parse_pace_graph
+
+            return parse_pace_graph(text)
+        if stripped.startswith("p ") or stripped.startswith("e "):
+            return parse_dimacs(text)
+        return parse_hypergraph(text)
+    try:
+        return get_instance(spec).build()
+    except UnknownInstanceError:
+        raise SystemExit(
+            f"error: {spec!r} is neither a file nor a registered instance "
+            "(list them with `python -m repro instances`)"
+        )
+
+
+def cmd_tw(args: argparse.Namespace) -> int:
+    structure = load_structure(args.instance)
+    if args.ga:
+        result = ga_treewidth(
+            structure,
+            GAParameters(population_size=40, generations=60),
+            rng=random.Random(args.seed),
+            max_seconds=args.budget,
+        )
+        print(f"treewidth <= {result.best_fitness} "
+              f"(GA-tw, {result.evaluations} evaluations)")
+        return 0
+    search = astar_treewidth(
+        structure, budget=SearchBudget(max_seconds=args.budget)
+    )
+    if search.exact:
+        print(f"treewidth = {search.width} "
+              f"(A*-tw, {search.stats.nodes_expanded} nodes)")
+    else:
+        print(f"treewidth in [{search.lower_bound}, {search.upper_bound}] "
+              "(budget exhausted)")
+    return 0
+
+
+def cmd_ghw(args: argparse.Namespace) -> int:
+    structure = load_structure(args.instance)
+    if isinstance(structure, Graph):
+        structure = Hypergraph.from_graph(structure)
+    if args.ga:
+        result = ga_ghw(
+            structure,
+            GAParameters(population_size=24, generations=40),
+            rng=random.Random(args.seed),
+            max_seconds=args.budget,
+        )
+        print(f"ghw <= {result.best_fitness} "
+              f"(GA-ghw, {result.evaluations} evaluations)")
+        return 0
+    search = branch_and_bound_ghw(
+        structure, budget=SearchBudget(max_seconds=args.budget)
+    )
+    if search.exact:
+        print(f"ghw = {search.width} "
+              f"(BB-ghw, {search.stats.nodes_expanded} nodes)")
+    else:
+        print(f"ghw in [{search.lower_bound}, {search.upper_bound}] "
+              "(budget exhausted)")
+    return 0
+
+
+def cmd_hw(args: argparse.Namespace) -> int:
+    from .search import hypertree_width
+
+    structure = load_structure(args.instance)
+    if isinstance(structure, Graph):
+        structure = Hypergraph.from_graph(structure)
+    hw, htd = hypertree_width(structure, max_width=args.max_width)
+    print(f"hypertree width = {hw} "
+          f"(det-k-decomp, {htd.num_nodes} decomposition nodes)")
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    structure = load_structure(args.instance)
+    ordering = min_fill_ordering(structure)
+    td = bucket_elimination(structure, ordering)
+    width = ordering_width(structure, ordering)
+    print(f"min-fill tree decomposition: {td.num_nodes} bags, "
+          f"width {width}")
+    if args.output:
+        index = {v: i + 1 for i, v in enumerate(structure.vertex_list())}
+        bags = {
+            node: [index[v] for v in td.bag(node)] for node in td.nodes
+        }
+        text = write_tree_decomposition(
+            bags, td.tree_edges(), len(index)
+        )
+        pathlib.Path(args.output).write_text(text)
+        print(f"written to {args.output} (PACE .td style, vertices "
+              "relabelled 1..n)")
+    return 0
+
+
+def cmd_instances(args: argparse.Namespace) -> int:
+    for instance in list_instances(kind=args.kind):
+        marker = "" if instance.provenance == "exact" else " *"
+        print(f"{instance.name:14s} {instance.kind:10s} "
+              f"|V|={instance.reported_vertices:<5d} "
+              f"|E|={instance.reported_edges:<6d}{marker}")
+    print("\n(* = synthetic stand-in at the published size)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tree decomposition / generalized hypertree "
+        "decomposition toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, doc in (
+        ("tw", cmd_tw, "compute (or bound) the treewidth"),
+        ("ghw", cmd_ghw, "compute (or bound) the generalized hypertree width"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("instance", help="instance name or file path")
+        p.add_argument("--budget", type=float, default=30.0,
+                       help="time budget in seconds (default 30)")
+        p.add_argument("--ga", action="store_true",
+                       help="use the genetic algorithm (upper bound only)")
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "hw", help="compute the exact hypertree width (det-k-decomp)"
+    )
+    p.add_argument("instance", help="instance name or file path")
+    p.add_argument("--max-width", type=int, default=None,
+                   help="give up beyond this width")
+    p.set_defaults(func=cmd_hw)
+
+    p = sub.add_parser("decompose",
+                       help="emit a min-fill tree decomposition")
+    p.add_argument("instance", help="instance name or file path")
+    p.add_argument("--output", help="write PACE-style .td text here")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("instances", help="list registered instances")
+    p.add_argument("--kind", choices=["graph", "hypergraph"], default=None)
+    p.set_defaults(func=cmd_instances)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

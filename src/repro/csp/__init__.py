@@ -1,0 +1,61 @@
+"""The CSP substrate: relations, constraints, join trees, Acyclic
+Solving, and solving from tree / generalized hypertree decompositions."""
+
+from .acyclic import JoinTree, acyclic_solving, build_join_tree, solve_acyclic_csp
+from .bayesian import (
+    BayesianNetwork,
+    BayesianNetworkError,
+    junction_tree_weight,
+    random_bayesian_network,
+    triangulation_weight,
+)
+from .builders import (
+    australia_map_coloring,
+    graph_coloring_csp,
+    n_queens_csp,
+    not_equal_relation,
+    random_binary_csp,
+    sat_csp,
+    thesis_example_5,
+)
+from .csp import CSP, Constraint, CSPError
+from .enumerate import (
+    count_csp_solutions,
+    count_solutions,
+    enumerate_solutions,
+    full_reduce,
+)
+from .relation import Relation, RelationError, cartesian_relation
+from .solver import solve, solve_from_ghd, solve_from_tree_decomposition
+
+__all__ = [
+    "BayesianNetwork",
+    "BayesianNetworkError",
+    "CSP",
+    "CSPError",
+    "Constraint",
+    "JoinTree",
+    "Relation",
+    "RelationError",
+    "acyclic_solving",
+    "australia_map_coloring",
+    "build_join_tree",
+    "cartesian_relation",
+    "count_csp_solutions",
+    "count_solutions",
+    "enumerate_solutions",
+    "full_reduce",
+    "junction_tree_weight",
+    "random_bayesian_network",
+    "triangulation_weight",
+    "graph_coloring_csp",
+    "n_queens_csp",
+    "not_equal_relation",
+    "random_binary_csp",
+    "sat_csp",
+    "solve",
+    "solve_acyclic_csp",
+    "solve_from_ghd",
+    "solve_from_tree_decomposition",
+    "thesis_example_5",
+]

@@ -1,0 +1,172 @@
+"""Join trees and Algorithm *Acyclic Solving* (thesis §2.2.3, Fig. 2.4).
+
+A join tree of a CSP is a tree over its constraints such that, for every
+variable, the constraints containing it form a connected subtree
+(Definition 8).  A CSP has a join tree iff it is *acyclic*
+(Definition 9), and acyclic CSPs are solvable in polynomial time by the
+semijoin program of Yannakakis — the thesis' Algorithm Acyclic Solving:
+
+1. bottom-up: semijoin every parent relation with each child,
+2. top-down: pick a tuple at the root, then a consistent tuple at every
+   child (backtrack-free after step 1).
+
+Join trees are built with the classical maximal-spanning-tree
+construction on the dual graph weighted by shared-variable counts
+(Maier's theorem: the CSP is acyclic iff the result satisfies the
+connectedness condition).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from .csp import CSP, CSPError
+from .relation import Relation
+
+
+class JoinTree:
+    """A rooted tree over constraint names with attached relations."""
+
+    def __init__(self, root: Hashable):
+        self.root = root
+        self.children: dict[Hashable, list] = {root: []}
+        self.parent: dict[Hashable, Hashable | None] = {root: None}
+        self.relations: dict[Hashable, Relation] = {}
+
+    def add_child(self, parent: Hashable, child: Hashable) -> None:
+        if parent not in self.children:
+            raise CSPError(f"unknown join tree node {parent!r}")
+        if child in self.children:
+            raise CSPError(f"duplicate join tree node {child!r}")
+        self.children[parent].append(child)
+        self.children[child] = []
+        self.parent[child] = parent
+
+    def set_relation(self, node: Hashable, relation: Relation) -> None:
+        if node not in self.children:
+            raise CSPError(f"unknown join tree node {node!r}")
+        self.relations[node] = relation
+
+    def nodes_prefix_order(self) -> list:
+        """Root first, each node before its children."""
+        order = [self.root]
+        index = 0
+        while index < len(order):
+            order.extend(self.children[order[index]])
+            index += 1
+        return order
+
+    def satisfies_connectedness(self) -> bool:
+        """Definition 8 condition 2 over the relations' schemas."""
+        holders: dict[Hashable, list] = {}
+        for node, relation in self.relations.items():
+            for variable in relation.schema:
+                holders.setdefault(variable, []).append(node)
+        for nodes in holders.values():
+            if not self._connected(set(nodes)):
+                return False
+        return True
+
+    def _connected(self, nodes: set) -> bool:
+        start = next(iter(nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for other in self.children[node]:
+                if other in nodes and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+            parent = self.parent[node]
+            if parent in nodes and parent not in seen:
+                seen.add(parent)
+                frontier.append(parent)
+        return len(seen) == len(nodes)
+
+
+def build_join_tree(csp: CSP) -> JoinTree | None:
+    """A join tree of the CSP, or ``None`` when the CSP is cyclic.
+
+    Maximum spanning tree of the dual graph under shared-variable-count
+    weights (Prim's algorithm), then the connectedness check.
+    """
+    constraints = list(csp.constraints)
+    if not constraints:
+        raise CSPError("CSP has no constraints")
+    scopes = {c.name: set(c.scope) for c in constraints}
+    names = [c.name for c in constraints]
+
+    tree = JoinTree(names[0])
+    for c in constraints:
+        tree.relations[c.name] = c.relation
+    inside = {names[0]}
+    while len(inside) < len(names):
+        best: tuple[int, Hashable, Hashable] | None = None
+        for done in inside:
+            for candidate in names:
+                if candidate in inside:
+                    continue
+                weight = len(scopes[done] & scopes[candidate])
+                key = (weight, repr(done), repr(candidate))
+                if best is None or key > best[0]:
+                    best = (key, done, candidate)
+        assert best is not None
+        _key, parent, child = best
+        tree.add_child(parent, child)
+        inside.add(child)
+    if not tree.satisfies_connectedness():
+        return None
+    return tree
+
+
+def acyclic_solving(tree: JoinTree) -> dict | None:
+    """Algorithm *Acyclic Solving* (Fig. 2.4) on a join tree with
+    relations attached; returns a complete consistent assignment over the
+    union of the relations' schemas, or ``None``.
+
+    The input tree is not mutated; reduced relations live in a scratch
+    copy.
+    """
+    order = tree.nodes_prefix_order()
+    reduced = dict(tree.relations)
+    for node in reduced:
+        if node not in tree.children:
+            raise CSPError(f"relation attached to unknown node {node!r}")
+    # Bottom-up semijoin phase (children before parents).
+    for node in reversed(order):
+        parent = tree.parent[node]
+        if parent is None:
+            continue
+        reduced[parent] = reduced[parent].semijoin(reduced[node])
+        if reduced[parent].is_empty:
+            return None
+    if reduced[tree.root].is_empty:
+        return None
+    # Top-down selection phase (backtrack-free).
+    assignment: dict = {}
+    for node in order:
+        candidates = reduced[node].matching(assignment)
+        if candidates.is_empty:
+            # Cannot happen on a correctly reduced acyclic instance; kept
+            # as a defensive check for hand-built trees.
+            return None
+        assignment.update(candidates.any_row_as_assignment())
+    return assignment
+
+
+def solve_acyclic_csp(csp: CSP) -> dict | None:
+    """End-to-end: build a join tree and run Acyclic Solving.
+
+    Raises :class:`CSPError` when the CSP is not acyclic.  Variables in
+    no constraint scope get an arbitrary domain value appended.
+    """
+    tree = build_join_tree(csp)
+    if tree is None:
+        raise CSPError("CSP is not acyclic (no join tree exists)")
+    assignment = acyclic_solving(tree)
+    if assignment is None:
+        return None
+    for variable in csp.variables:
+        if variable not in assignment:
+            assignment[variable] = csp.domains[variable][0]
+    return assignment

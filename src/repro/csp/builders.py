@@ -1,0 +1,162 @@
+"""Ready-made CSP instances (thesis Examples 1, 2 and 5, plus generator
+families for the examples and benchmarks)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+
+from ..hypergraph.graph import Graph
+from .csp import CSP, Constraint
+from .relation import Relation
+
+
+def not_equal_relation(a, b, domain: Sequence) -> Relation:
+    """All pairs of distinct domain values — the coloring constraint."""
+    return Relation(
+        (a, b),
+        [(x, y) for x in domain for y in domain if x != y],
+    )
+
+
+def australia_map_coloring() -> CSP:
+    """Example 1: 3-coloring the states and territories of Australia."""
+    colors = ("r", "g", "b")
+    regions = ("WA", "NT", "Q", "SA", "NSW", "V", "TAS")
+    borders = [
+        ("NT", "WA"), ("SA", "WA"), ("NT", "Q"), ("NT", "SA"),
+        ("Q", "SA"), ("NSW", "Q"), ("NSW", "V"), ("NSW", "SA"),
+        ("SA", "V"),
+    ]
+    constraints = [
+        Constraint(f"C{i + 1}", not_equal_relation(a, b, colors))
+        for i, (a, b) in enumerate(borders)
+    ]
+    return CSP(domains={r: colors for r in regions}, constraints=constraints)
+
+
+def graph_coloring_csp(graph: Graph, num_colors: int) -> CSP:
+    """k-coloring of an arbitrary graph as a binary CSP."""
+    if num_colors < 1:
+        raise ValueError("need at least one color")
+    colors = tuple(range(num_colors))
+    constraints = [
+        Constraint(f"e{i}", not_equal_relation(u, v, colors))
+        for i, (u, v) in enumerate(graph.edges())
+    ]
+    return CSP(
+        domains={v: colors for v in graph.vertex_list()},
+        constraints=constraints,
+    )
+
+
+def sat_csp(clauses: Sequence[Sequence[int]]) -> CSP:
+    """Example 2: CNF satisfiability as a CSP — one constraint per
+    clause holding the satisfying value combinations.
+
+    Literals are nonzero ints; variable i is named ``x{i}``.
+    """
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    constraints = []
+    for index, clause in enumerate(clauses):
+        if not clause:
+            raise ValueError("empty clauses are unsatisfiable by definition")
+        scope = tuple(f"x{v}" for v in sorted({abs(lit) for lit in clause}))
+        scope_vars = [int(name[1:]) for name in scope]
+        rows = []
+        for values in itertools.product((False, True), repeat=len(scope)):
+            assignment = dict(zip(scope_vars, values))
+            if any(
+                assignment[abs(lit)] == (lit > 0) for lit in clause
+            ):
+                rows.append(values)
+        constraints.append(Constraint(f"cl{index}", Relation(scope, rows)))
+    return CSP(
+        domains={f"x{v}": (False, True) for v in variables},
+        constraints=constraints,
+    )
+
+
+def n_queens_csp(n: int) -> CSP:
+    """The n-queens problem: one variable per column (the queen's row),
+    binary non-attack constraints."""
+    if n < 1:
+        raise ValueError("need at least one queen")
+    rows = tuple(range(n))
+    constraints = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            allowed = [
+                (a, b)
+                for a in rows
+                for b in rows
+                if a != b and abs(a - b) != j - i
+            ]
+            constraints.append(
+                Constraint(f"q{i}_{j}", Relation((f"q{i}", f"q{j}"), allowed))
+            )
+    return CSP(
+        domains={f"q{i}": rows for i in range(n)}, constraints=constraints
+    )
+
+
+def thesis_example_5() -> CSP:
+    """Example 5 of the thesis — the running CSP behind Figs. 2.6–2.9."""
+    domains = {
+        "x1": ("a", "b"),
+        "x2": ("b", "c"), "x3": ("b", "c"), "x4": ("b", "c"),
+        "x5": ("b", "c"), "x6": ("b", "c"),
+    }
+    constraints = [
+        Constraint(
+            "C1",
+            Relation(("x1", "x2", "x3"),
+                     [("a", "b", "c"), ("a", "c", "b"), ("b", "b", "c")]),
+        ),
+        Constraint(
+            "C2",
+            Relation(("x1", "x5", "x6"),
+                     [("a", "b", "c"), ("a", "c", "b")]),
+        ),
+        Constraint(
+            "C3",
+            Relation(("x3", "x4", "x5"),
+                     [("c", "b", "c"), ("c", "c", "b")]),
+        ),
+    ]
+    return CSP(domains=domains, constraints=constraints)
+
+
+def random_binary_csp(
+    num_variables: int,
+    domain_size: int,
+    density: float,
+    tightness: float,
+    seed: int,
+) -> CSP:
+    """The classic random binary CSP model B: ``density`` of all pairs get
+    a constraint forbidding a ``tightness`` fraction of value pairs."""
+    if not 0 <= density <= 1 or not 0 <= tightness < 1:
+        raise ValueError("density in [0,1], tightness in [0,1) required")
+    rng = random.Random(seed)
+    domain = tuple(range(domain_size))
+    pairs = [
+        (i, j)
+        for i in range(num_variables)
+        for j in range(i + 1, num_variables)
+    ]
+    chosen = [p for p in pairs if rng.random() < density]
+    constraints = []
+    all_pairs = [(a, b) for a in domain for b in domain]
+    forbid = max(0, int(round(tightness * len(all_pairs))))
+    for index, (i, j) in enumerate(chosen):
+        disallowed = set(rng.sample(all_pairs, forbid))
+        rows = [p for p in all_pairs if p not in disallowed]
+        constraints.append(
+            Constraint(f"c{index}", Relation((f"v{i}", f"v{j}"), rows))
+        )
+    return CSP(
+        domains={f"v{i}": domain for i in range(num_variables)},
+        constraints=constraints,
+    )

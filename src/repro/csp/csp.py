@@ -1,0 +1,176 @@
+"""Constraint satisfaction problems (thesis Definition 5).
+
+A CSP is variables + finite domains + constraints; each constraint is a
+scope (variable tuple) with a relation of allowed value combinations.
+The constraint hypergraph (Definition 7) has a vertex per variable and a
+hyperedge per constraint scope — the bridge to the decomposition world.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..hypergraph.hypergraph import Hypergraph
+from .relation import Relation
+
+VariableName = Hashable
+
+
+class CSPError(Exception):
+    """Raised on malformed CSPs or assignments."""
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A constraint ⟨scope, relation⟩; the relation's schema must equal
+    the scope."""
+
+    name: str
+    relation: Relation
+
+    @property
+    def scope(self) -> tuple:
+        return self.relation.schema
+
+    def satisfied_by(self, assignment: Mapping[VariableName, object]) -> bool:
+        """True when the (total-on-scope) assignment is allowed."""
+        try:
+            row = tuple(assignment[v] for v in self.scope)
+        except KeyError as exc:
+            raise CSPError(
+                f"assignment misses variable {exc.args[0]!r} "
+                f"of constraint {self.name}"
+            ) from exc
+        return row in self.relation.tuples
+
+    def consistent_with(self, assignment: Mapping[VariableName, object]) -> bool:
+        """True when the *partial* assignment can still be extended: some
+        allowed row matches all assigned scope variables."""
+        bindings = {v: assignment[v] for v in self.scope if v in assignment}
+        if len(bindings) == len(self.scope):
+            return self.satisfied_by(assignment)
+        return not self.relation.select_equals(bindings).is_empty
+
+
+class CSP:
+    """A constraint satisfaction problem.
+
+    Example (2-coloring a path):
+        >>> ne = Relation(("a", "b"), [("r", "g"), ("g", "r")])
+        >>> csp = CSP(
+        ...     domains={"x": ["r", "g"], "y": ["r", "g"], "z": ["r", "g"]},
+        ...     constraints=[
+        ...         Constraint("c1", ne.rename({"a": "x", "b": "y"})),
+        ...         Constraint("c2", ne.rename({"a": "y", "b": "z"})),
+        ...     ],
+        ... )
+        >>> solution = csp.solve_backtracking()
+        >>> csp.is_solution(solution)
+        True
+    """
+
+    def __init__(
+        self,
+        domains: Mapping[VariableName, Iterable],
+        constraints: Sequence[Constraint],
+    ):
+        self.domains: dict[VariableName, tuple] = {
+            v: tuple(values) for v, values in domains.items()
+        }
+        for v, values in self.domains.items():
+            if not values:
+                raise CSPError(f"variable {v!r} has an empty domain")
+        names = [c.name for c in constraints]
+        if len(set(names)) != len(names):
+            raise CSPError("constraint names must be unique")
+        for constraint in constraints:
+            for v in constraint.scope:
+                if v not in self.domains:
+                    raise CSPError(
+                        f"constraint {constraint.name} mentions unknown "
+                        f"variable {v!r}"
+                    )
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def variables(self) -> list:
+        return list(self.domains)
+
+    def constraint(self, name: str) -> Constraint:
+        for c in self.constraints:
+            if c.name == name:
+                return c
+        raise CSPError(f"unknown constraint {name!r}")
+
+    def constraint_hypergraph(self) -> Hypergraph:
+        """Definition 7: vertex per variable, hyperedge per scope, named
+        after the constraint."""
+        hypergraph = Hypergraph(vertices=self.variables)
+        for constraint in self.constraints:
+            hypergraph.add_edge(constraint.scope, name=constraint.name)
+        return hypergraph
+
+    # ------------------------------------------------------------------
+    # Assignment checking
+    # ------------------------------------------------------------------
+
+    def is_solution(self, assignment: Mapping[VariableName, object] | None) -> bool:
+        """Complete + consistent (Definition 6)."""
+        if assignment is None:
+            return False
+        if set(assignment) != set(self.domains):
+            return False
+        for v, value in assignment.items():
+            if value not in self.domains[v]:
+                return False
+        return all(c.satisfied_by(assignment) for c in self.constraints)
+
+    # ------------------------------------------------------------------
+    # Reference solvers (exponential; used as oracles and baselines)
+    # ------------------------------------------------------------------
+
+    def solve_backtracking(self) -> dict | None:
+        """Chronological backtracking with constraint propagation on
+        fully-assigned scopes; the brute-force baseline."""
+        order = sorted(self.variables, key=repr)
+        assignment: dict = {}
+
+        def extend(index: int) -> bool:
+            if index == len(order):
+                return True
+            variable = order[index]
+            for value in self.domains[variable]:
+                assignment[variable] = value
+                if all(
+                    c.consistent_with(assignment)
+                    for c in self.constraints
+                    if variable in c.scope
+                ):
+                    if extend(index + 1):
+                        return True
+                del assignment[variable]
+            return False
+
+        return dict(assignment) if extend(0) else None
+
+    def all_solutions(self) -> list[dict]:
+        """Every complete consistent assignment (use on small CSPs)."""
+        order = sorted(self.variables, key=repr)
+        solutions: list[dict] = []
+        for values in itertools.product(*(self.domains[v] for v in order)):
+            assignment = dict(zip(order, values))
+            if all(c.satisfied_by(assignment) for c in self.constraints):
+                solutions.append(assignment)
+        return solutions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSP({len(self.domains)} variables, "
+            f"{len(self.constraints)} constraints)"
+        )

@@ -1,0 +1,188 @@
+"""A small relational algebra over named-column relations.
+
+The CSP machinery of the thesis is database machinery: constraint
+relations are joined (⨝), semijoined (⋉) and projected (π) — Algorithm
+*Acyclic Solving* (Fig. 2.4) is Yannakakis' algorithm, and solving from a
+GHD computes ``R_p := π_χ(p) ⨝_{h ∈ λ(p)} h`` per node (Fig. 2.9).
+
+A :class:`Relation` is a schema (tuple of attribute names) plus a set of
+value tuples.  Joins are hash joins on the shared attributes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+
+Attribute = Hashable
+Row = tuple
+
+
+class RelationError(Exception):
+    """Raised on schema mismatches and malformed tuples."""
+
+
+class Relation:
+    """An immutable named-column relation.
+
+    Example:
+        >>> r = Relation(("x", "y"), [(1, 2), (1, 3)])
+        >>> s = Relation(("y", "z"), [(2, 9)])
+        >>> sorted(r.natural_join(s).tuples)
+        [(1, 2, 9)]
+    """
+
+    __slots__ = ("_schema", "_tuples")
+
+    def __init__(self, schema: Sequence[Attribute], tuples: Iterable[Row] = ()):
+        schema_tuple = tuple(schema)
+        if len(set(schema_tuple)) != len(schema_tuple):
+            raise RelationError(f"duplicate attributes in schema {schema_tuple!r}")
+        rows = set()
+        width = len(schema_tuple)
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != width:
+                raise RelationError(
+                    f"tuple {row!r} does not match schema {schema_tuple!r}"
+                )
+            rows.add(row)
+        self._schema = schema_tuple
+        self._tuples = frozenset(rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> tuple:
+        return self._schema
+
+    @property
+    def tuples(self) -> frozenset:
+        return self._tuples
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self._schema == other._schema:
+            return self._tuples == other._tuples
+        if set(self._schema) != set(other._schema):
+            return False
+        # Same attributes, different column order: compare as mappings.
+        return self.as_assignments() == other.as_assignments()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self._schema!r}, {len(self._tuples)} tuples)"
+
+    def as_assignments(self) -> set:
+        """Tuples as frozen attribute->value mappings (order-free)."""
+        return {
+            frozenset(zip(self._schema, row)) for row in self._tuples
+        }
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Sequence[Attribute]) -> "Relation":
+        """π: keep the named attributes (deduplicating rows)."""
+        attrs = tuple(attributes)
+        try:
+            indices = [self._schema.index(a) for a in attrs]
+        except ValueError as exc:
+            raise RelationError(f"unknown attribute in {attrs!r}") from exc
+        return Relation(attrs, ((tuple(row[i] for i in indices)) for row in self._tuples))
+
+    def select_equals(self, bindings: Mapping[Attribute, object]) -> "Relation":
+        """σ: keep rows matching every ``attribute == value`` binding."""
+        positions = []
+        for attribute, value in bindings.items():
+            if attribute not in self._schema:
+                raise RelationError(f"unknown attribute {attribute!r}")
+            positions.append((self._schema.index(attribute), value))
+        kept = (
+            row
+            for row in self._tuples
+            if all(row[i] == value for i, value in positions)
+        )
+        return Relation(self._schema, kept)
+
+    def rename(self, mapping: Mapping[Attribute, Attribute]) -> "Relation":
+        """ρ: rename attributes."""
+        new_schema = tuple(mapping.get(a, a) for a in self._schema)
+        return Relation(new_schema, self._tuples)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """⨝: hash join on the shared attributes (cartesian product when
+        the schemas are disjoint)."""
+        shared = [a for a in self._schema if a in other._schema]
+        left_idx = [self._schema.index(a) for a in shared]
+        right_idx = [other._schema.index(a) for a in shared]
+        right_extra = [
+            i for i, a in enumerate(other._schema) if a not in self._schema
+        ]
+        out_schema = self._schema + tuple(other._schema[i] for i in right_extra)
+
+        buckets: dict[tuple, list[Row]] = {}
+        for row in other._tuples:
+            key = tuple(row[i] for i in right_idx)
+            buckets.setdefault(key, []).append(row)
+        rows = []
+        for row in self._tuples:
+            key = tuple(row[i] for i in left_idx)
+            for match in buckets.get(key, ()):
+                rows.append(row + tuple(match[i] for i in right_extra))
+        return Relation(out_schema, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """⋉: rows of self that join with at least one row of other."""
+        shared = [a for a in self._schema if a in other._schema]
+        if not shared:
+            return self if not other.is_empty else Relation(self._schema)
+        left_idx = [self._schema.index(a) for a in shared]
+        right_idx = [other._schema.index(a) for a in shared]
+        keys = {tuple(row[i] for i in right_idx) for row in other._tuples}
+        kept = (
+            row
+            for row in self._tuples
+            if tuple(row[i] for i in left_idx) in keys
+        )
+        return Relation(self._schema, kept)
+
+    def matching(self, assignment: Mapping[Attribute, object]) -> "Relation":
+        """Rows consistent with a partial assignment (only the attributes
+        present in both are constrained) — the top-down step of Acyclic
+        Solving."""
+        bindings = {
+            a: v for a, v in assignment.items() if a in self._schema
+        }
+        return self.select_equals(bindings)
+
+    def any_row_as_assignment(self) -> dict:
+        """One arbitrary (deterministic) row as attribute->value dict."""
+        if self.is_empty:
+            raise RelationError("relation is empty")
+        row = min(self._tuples, key=repr)
+        return dict(zip(self._schema, row))
+
+
+def cartesian_relation(
+    attributes: Sequence[Attribute], domains: Mapping[Attribute, Iterable]
+) -> Relation:
+    """The full cross product of the given attributes' domains."""
+    attrs = tuple(attributes)
+    rows: list[tuple] = [()]
+    for a in attrs:
+        domain = list(domains[a])
+        rows = [row + (value,) for row in rows for value in domain]
+    return Relation(attrs, rows)

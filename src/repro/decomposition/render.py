@@ -1,0 +1,78 @@
+"""Plain-text rendering of decompositions (for CLIs, examples, logs).
+
+Renders a tree decomposition (or GHD) as an indented tree, one node per
+line, bags in braces, λ-labels in brackets::
+
+    {x1, x3, x5} [C1, C3]
+    ├── {x1, x2, x3} [C1]
+    ├── {x3, x4, x5} [C3]
+    └── {x1, x5, x6} [C2]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from .ghd import GeneralizedHypertreeDecomposition
+from .tree_decomposition import TreeDecomposition
+
+
+def render_tree_decomposition(
+    td: TreeDecomposition, root: Hashable | None = None
+) -> str:
+    """Multi-line ASCII rendering of ``td`` rooted at ``root`` (default:
+    first node).  GHDs additionally show their λ-labels."""
+    if td.num_nodes == 0:
+        return "(empty decomposition)"
+    if root is None:
+        root = td.nodes[0]
+    parents = td.rooted_parents(root)
+    children: dict[Hashable, list] = {node: [] for node in td.nodes}
+    for node in td.topological_order(root)[1:]:
+        children[parents[node]].append(node)
+    for kids in children.values():
+        kids.sort(key=repr)
+
+    lines: list[str] = []
+
+    def label(node: Hashable) -> str:
+        bag = "{" + ", ".join(sorted(map(str, td.bag(node)))) + "}"
+        if isinstance(td, GeneralizedHypertreeDecomposition):
+            lam = ", ".join(sorted(map(str, td.cover(node))))
+            return f"{bag} [{lam}]"
+        return bag
+
+    def walk(node: Hashable, prefix: str, is_last: bool, is_root: bool):
+        if is_root:
+            lines.append(label(node))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label(node))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        kids = children[node]
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def summarize_decomposition(td: TreeDecomposition) -> str:
+    """One-line summary: node count, width, bag-size histogram."""
+    if td.num_nodes == 0:
+        return "empty decomposition"
+    sizes = sorted(len(bag) for bag in td.bags.values())
+    histogram: dict[int, int] = {}
+    for size in sizes:
+        histogram[size] = histogram.get(size, 0) + 1
+    spread = ", ".join(f"{size}:{count}" for size, count in
+                       sorted(histogram.items()))
+    kind = "GHD" if isinstance(td, GeneralizedHypertreeDecomposition) else "TD"
+    width = (
+        td.ghw_width
+        if isinstance(td, GeneralizedHypertreeDecomposition)
+        else td.width
+    )
+    return (f"{kind}: {td.num_nodes} nodes, width {width}, "
+            f"bag sizes {{{spread}}}")

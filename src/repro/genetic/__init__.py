@@ -1,0 +1,68 @@
+"""Genetic algorithms: GA-tw (Ch. 6), GA-ghw (Ch. 7.1) and the
+self-adaptive island GA SAIGA-ghw (Ch. 7.2), with the permutation
+operators of §4.3."""
+
+from .engine import GAParameters, GAResult, run_permutation_ga
+from .ga_bayes import ga_triangulation
+from .ga_ghw import ga_ghw, ghw_fitness
+from .ga_tw import ga_treewidth
+from .local_search import LocalSearchResult, hill_climb_ordering
+from .operators import (
+    CROSSOVER_OPERATORS,
+    MUTATION_OPERATORS,
+    OperatorError,
+    ap_crossover,
+    cx_crossover,
+    dm_mutation,
+    em_mutation,
+    ism_mutation,
+    ivm_mutation,
+    ox1_crossover,
+    ox2_crossover,
+    pmx_crossover,
+    pos_crossover,
+    sim_mutation,
+    sm_mutation,
+)
+from .saiga import (
+    PARAMETER_RANGES,
+    ParameterVector,
+    SAIGAParameters,
+    SAIGAResult,
+    saiga_ghw,
+)
+from .selection import tournament_select_index, tournament_selection
+
+__all__ = [
+    "CROSSOVER_OPERATORS",
+    "GAParameters",
+    "GAResult",
+    "MUTATION_OPERATORS",
+    "OperatorError",
+    "PARAMETER_RANGES",
+    "ParameterVector",
+    "SAIGAParameters",
+    "SAIGAResult",
+    "ap_crossover",
+    "cx_crossover",
+    "dm_mutation",
+    "em_mutation",
+    "ga_ghw",
+    "ga_triangulation",
+    "ga_treewidth",
+    "hill_climb_ordering",
+    "LocalSearchResult",
+    "ghw_fitness",
+    "ism_mutation",
+    "ivm_mutation",
+    "ox1_crossover",
+    "ox2_crossover",
+    "pmx_crossover",
+    "pos_crossover",
+    "run_permutation_ga",
+    "saiga_ghw",
+    "sim_mutation",
+    "sm_mutation",
+    "tournament_select_index",
+    "tournament_selection",
+]

@@ -1,0 +1,253 @@
+"""Crossover and mutation operators for permutations (thesis §4.3.2–4.3.3,
+after Larrañaga et al. [36]).
+
+Six crossover operators — PMX, CX, OX1, OX2, POS, AP — and six mutation
+operators — DM, EM, ISM, SIM, IVM, SM.  Every operator maps permutations
+to permutations (property-tested); crossovers return a single offspring
+(call twice with swapped parents for two).
+
+All operators receive an explicit ``random.Random`` so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+Permutation = list
+
+
+class OperatorError(Exception):
+    """Raised on malformed operator inputs."""
+
+
+def _check_parents(parent1: Sequence, parent2: Sequence) -> None:
+    if len(parent1) != len(parent2):
+        raise OperatorError("parents must have equal length")
+    if set(parent1) != set(parent2):
+        raise OperatorError("parents must permute the same elements")
+
+
+def _two_cuts(n: int, rng: random.Random) -> tuple[int, int]:
+    """Two cut positions 0 <= a < b <= n (segment = indices a..b-1)."""
+    a = rng.randint(0, n - 1)
+    b = rng.randint(0, n - 1)
+    if a > b:
+        a, b = b, a
+    return a, b + 1
+
+
+# ----------------------------------------------------------------------
+# Crossovers
+# ----------------------------------------------------------------------
+
+
+def pmx_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Partially-mapped crossover: exchange a random segment and repair
+    conflicts outside it via the segment's element mapping."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    if n < 2:
+        return list(parent1)
+    a, b = _two_cuts(n, rng)
+    child: list = [None] * n
+    child[a:b] = parent2[a:b]
+    segment = set(parent2[a:b])
+    # Position of each element in parent2 (for mapping resolution).
+    pos2 = {v: i for i, v in enumerate(parent2)}
+    for i in list(range(0, a)) + list(range(b, n)):
+        candidate = parent1[i]
+        while candidate in segment:
+            candidate = parent1[pos2[candidate]]
+        child[i] = candidate
+    return child
+
+
+def cx_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Cycle crossover: the first cycle of (parent1 over parent2) keeps
+    parent1's positions; everything else comes from parent2."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    if n == 0:
+        return []
+    child: list = list(parent2)
+    pos1 = {v: i for i, v in enumerate(parent1)}
+    index = 0
+    while True:
+        child[index] = parent1[index]
+        index = pos1[parent2[index]]
+        if index == 0:
+            break
+    return child
+
+
+def ox1_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Order crossover: keep a segment of parent1; fill the rest with the
+    remaining elements in parent2's cyclic order starting after the cut."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    if n < 2:
+        return list(parent1)
+    a, b = _two_cuts(n, rng)
+    segment = set(parent1[a:b])
+    child: list = [None] * n
+    child[a:b] = parent1[a:b]
+    filler = [parent2[(b + k) % n] for k in range(n)]
+    filler = [v for v in filler if v not in segment]
+    positions = [i % n for i in range(b, b + n) if i % n < a or i % n >= b]
+    for i, v in zip(positions, filler):
+        child[i] = v
+    return child
+
+
+def ox2_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Order-based crossover: a random position subset of parent2 selects
+    elements whose relative order is imposed onto parent1."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    selected_positions = [i for i in range(n) if rng.random() < 0.5]
+    selected = [parent2[i] for i in selected_positions]
+    selected_set = set(selected)
+    child: list = list(parent1)
+    slots = [i for i, v in enumerate(parent1) if v in selected_set]
+    for i, v in zip(slots, selected):
+        child[i] = v
+    return child
+
+
+def pos_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Position-based crossover: child takes parent2's elements at a
+    random position subset; remaining slots are filled with parent1's
+    other elements in parent1 order.  The thesis' winning operator
+    (Table 6.1)."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    keep = [i for i in range(n) if rng.random() < 0.5]
+    child: list = [None] * n
+    used = set()
+    for i in keep:
+        child[i] = parent2[i]
+        used.add(parent2[i])
+    filler = (v for v in parent1 if v not in used)
+    for i in range(n):
+        if child[i] is None:
+            child[i] = next(filler)
+    return child
+
+
+def ap_crossover(parent1: Sequence, parent2: Sequence, rng: random.Random) -> Permutation:
+    """Alternating-position crossover: interleave the parents, skipping
+    elements already present."""
+    _check_parents(parent1, parent2)
+    n = len(parent1)
+    child: list = []
+    seen: set = set()
+    for v1, v2 in zip(parent1, parent2):
+        for v in (v1, v2):
+            if v not in seen:
+                child.append(v)
+                seen.add(v)
+    # All elements appear within the zipped pairs, so child is complete.
+    assert len(child) == n
+    return child
+
+
+CROSSOVER_OPERATORS = {
+    "PMX": pmx_crossover,
+    "CX": cx_crossover,
+    "OX1": ox1_crossover,
+    "OX2": ox2_crossover,
+    "POS": pos_crossover,
+    "AP": ap_crossover,
+}
+
+
+# ----------------------------------------------------------------------
+# Mutations
+# ----------------------------------------------------------------------
+
+
+def dm_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Displacement: cut a random substring, reinsert at a random slot."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    a, b = _two_cuts(n, rng)
+    rest = list(individual[:a]) + list(individual[b:])
+    segment = list(individual[a:b])
+    slot = rng.randint(0, len(rest))
+    return rest[:slot] + segment + rest[slot:]
+
+
+def em_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Exchange: swap two random elements."""
+    n = len(individual)
+    child = list(individual)
+    if n < 2:
+        return child
+    i = rng.randrange(n)
+    j = rng.randrange(n)
+    child[i], child[j] = child[j], child[i]
+    return child
+
+
+def ism_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Insertion: move one random element to a random slot.  The thesis'
+    winning mutation (Table 6.2)."""
+    n = len(individual)
+    child = list(individual)
+    if n < 2:
+        return child
+    i = rng.randrange(n)
+    v = child.pop(i)
+    slot = rng.randint(0, n - 1)
+    child.insert(slot, v)
+    return child
+
+
+def sim_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Simple inversion: reverse a random substring in place."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    a, b = _two_cuts(n, rng)
+    child = list(individual)
+    child[a:b] = reversed(child[a:b])
+    return child
+
+
+def ivm_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Inversion: cut a random substring, reinsert reversed at a random
+    slot."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    a, b = _two_cuts(n, rng)
+    rest = list(individual[:a]) + list(individual[b:])
+    segment = list(reversed(individual[a:b]))
+    slot = rng.randint(0, len(rest))
+    return rest[:slot] + segment + rest[slot:]
+
+
+def sm_mutation(individual: Sequence, rng: random.Random) -> Permutation:
+    """Scramble: shuffle a random substring in place."""
+    n = len(individual)
+    if n < 2:
+        return list(individual)
+    a, b = _two_cuts(n, rng)
+    child = list(individual)
+    segment = child[a:b]
+    rng.shuffle(segment)
+    child[a:b] = segment
+    return child
+
+
+MUTATION_OPERATORS = {
+    "DM": dm_mutation,
+    "EM": em_mutation,
+    "ISM": ism_mutation,
+    "SIM": sim_mutation,
+    "IVM": ivm_mutation,
+    "SM": sm_mutation,
+}

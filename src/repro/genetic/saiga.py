@@ -1,0 +1,277 @@
+"""SAIGA-ghw: a self-adaptive island genetic algorithm for generalized
+hypertree width upper bounds (thesis §7.2, after Eiben et al. [19]).
+
+Motivation: GA-ghw needs hand-tuned control parameters (Tables 6.1–6.5
+are an entire tuning campaign).  SAIGA-ghw instead runs several island
+populations on a ring, each with its *own* parameter vector
+(crossover rate, mutation rate, tournament size), and adapts the vectors
+during the run:
+
+* every epoch each island compares its recent best fitness with its ring
+  neighbors' (*neighbor orientation*, §7.2.5): an island doing worse
+  than its best neighbor moves its parameters toward that neighbor's,
+* every epoch each vector is also perturbed by clipped Gaussian noise
+  (*mutation of parameter vectors*, §7.2.4),
+* the islands exchange their best individuals along the ring
+  (migration), spreading good orderings.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..decomposition.elimination import OrderingEvaluator, elimination_bags
+from ..hypergraph.hypergraph import Hypergraph
+from ..setcover.exact import exact_set_cover
+from .engine import GAResult
+from .ga_ghw import ghw_fitness
+from .operators import CROSSOVER_OPERATORS, MUTATION_OPERATORS
+from .selection import tournament_selection
+
+PARAMETER_RANGES = {
+    "crossover_rate": (0.5, 1.0),
+    "mutation_rate": (0.01, 0.5),
+    "tournament_size": (2, 5),
+}
+
+
+@dataclass
+class SAIGAParameters:
+    """Control knobs that SAIGA does *not* adapt: the island topology and
+    schedule.  All evolutionary rates are self-adapted per island."""
+
+    num_islands: int = 4
+    island_population: int = 24
+    epoch_generations: int = 5
+    epochs: int = 12
+    orientation_step: float = 0.5  # fraction moved toward better neighbor
+    noise_scale: float = 0.05
+    crossover: str = "POS"
+    mutation: str = "ISM"
+
+    def validate(self) -> None:
+        if self.num_islands < 2:
+            raise ValueError("need at least 2 islands for a ring")
+        if self.island_population < 2:
+            raise ValueError("island population must be at least 2")
+        if self.epoch_generations < 1 or self.epochs < 1:
+            raise ValueError("epochs and epoch length must be positive")
+        if self.crossover not in CROSSOVER_OPERATORS:
+            raise ValueError(f"unknown crossover {self.crossover!r}")
+        if self.mutation not in MUTATION_OPERATORS:
+            raise ValueError(f"unknown mutation {self.mutation!r}")
+
+
+@dataclass
+class ParameterVector:
+    """One island's self-adapted parameters (§7.2.2)."""
+
+    crossover_rate: float
+    mutation_rate: float
+    tournament_size: int
+
+    @classmethod
+    def random(cls, rng: random.Random) -> "ParameterVector":
+        lo_c, hi_c = PARAMETER_RANGES["crossover_rate"]
+        lo_m, hi_m = PARAMETER_RANGES["mutation_rate"]
+        lo_s, hi_s = PARAMETER_RANGES["tournament_size"]
+        return cls(
+            crossover_rate=rng.uniform(lo_c, hi_c),
+            mutation_rate=rng.uniform(lo_m, hi_m),
+            tournament_size=rng.randint(lo_s, hi_s),
+        )
+
+    def mutated(self, rng: random.Random, scale: float) -> "ParameterVector":
+        """Gaussian perturbation clipped to the allowed ranges (§7.2.4)."""
+        return ParameterVector(
+            crossover_rate=_clip(
+                self.crossover_rate + rng.gauss(0, scale),
+                *PARAMETER_RANGES["crossover_rate"],
+            ),
+            mutation_rate=_clip(
+                self.mutation_rate + rng.gauss(0, scale),
+                *PARAMETER_RANGES["mutation_rate"],
+            ),
+            tournament_size=int(
+                round(
+                    _clip(
+                        self.tournament_size + rng.gauss(0, scale * 10),
+                        *PARAMETER_RANGES["tournament_size"],
+                    )
+                )
+            ),
+        )
+
+    def oriented_toward(
+        self, other: "ParameterVector", step: float, rng: random.Random
+    ) -> "ParameterVector":
+        """Move ``step`` of the way toward a better neighbor (§7.2.5)."""
+        return ParameterVector(
+            crossover_rate=self.crossover_rate
+            + step * (other.crossover_rate - self.crossover_rate),
+            mutation_rate=self.mutation_rate
+            + step * (other.mutation_rate - self.mutation_rate),
+            tournament_size=int(
+                round(
+                    self.tournament_size
+                    + step * (other.tournament_size - self.tournament_size)
+                )
+            ),
+        )
+
+
+def _clip(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+@dataclass
+class SAIGAResult(GAResult):
+    """GA result extended with the final per-island parameter vectors."""
+
+    final_parameters: list[ParameterVector] = field(default_factory=list)
+
+
+class _Island:
+    """One island: a population, a fitness cache share, and a vector."""
+
+    def __init__(self, vertices, fitness, size, vector, rng):
+        self.fitness_fn = fitness
+        self.vector = vector
+        self.rng = rng
+        self.population = []
+        for _ in range(size):
+            individual = list(vertices)
+            rng.shuffle(individual)
+            self.population.append(individual)
+        self.fitnesses = [fitness(ind) for ind in self.population]
+        self.evaluations = size
+        self.best_fitness = min(self.fitnesses)
+        best = self.fitnesses.index(self.best_fitness)
+        self.best_individual = list(self.population[best])
+
+    def step(self, crossover, mutation) -> None:
+        """One generation with this island's current parameters."""
+        rng = self.rng
+        self.population = tournament_selection(
+            self.population, self.fitnesses, self.vector.tournament_size, rng
+        )
+        n = len(self.population)
+        order = list(range(n))
+        rng.shuffle(order)
+        pairs = round(n * self.vector.crossover_rate) // 2
+        for k in range(pairs):
+            i, j = order[2 * k], order[2 * k + 1]
+            a, b = self.population[i], self.population[j]
+            self.population[i] = crossover(a, b, rng)
+            self.population[j] = crossover(b, a, rng)
+        for i, individual in enumerate(self.population):
+            if rng.random() < self.vector.mutation_rate:
+                self.population[i] = mutation(individual, rng)
+        self.fitnesses = [self.fitness_fn(ind) for ind in self.population]
+        self.evaluations += n
+        gen_best = min(range(n), key=self.fitnesses.__getitem__)
+        if self.fitnesses[gen_best] < self.best_fitness:
+            self.best_fitness = self.fitnesses[gen_best]
+            self.best_individual = list(self.population[gen_best])
+
+    def immigrate(self, individual, fitness) -> None:
+        """Replace the worst member with a migrant."""
+        worst = max(range(len(self.population)), key=self.fitnesses.__getitem__)
+        self.population[worst] = list(individual)
+        self.fitnesses[worst] = fitness
+
+
+def saiga_ghw(
+    hypergraph: Hypergraph,
+    parameters: SAIGAParameters | None = None,
+    rng: random.Random | None = None,
+    max_seconds: float | None = None,
+    rescore_exact: bool = True,
+) -> SAIGAResult:
+    """Run SAIGA-ghw; self-adapts pc, pm and tournament size per island."""
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        raise ValueError(
+            f"hypergraph has isolated vertices {sorted(map(repr, isolated))}; "
+            "no generalized hypertree decomposition exists"
+        )
+    params = parameters or SAIGAParameters()
+    params.validate()
+    generator = rng or random.Random(0)
+    start = time.monotonic()
+    vertices = hypergraph.vertex_list()
+    if not vertices or hypergraph.num_edges == 0:
+        return SAIGAResult(0, list(vertices), 0, 0, [0])
+
+    crossover = CROSSOVER_OPERATORS[params.crossover]
+    mutation = MUTATION_OPERATORS[params.mutation]
+    cache: dict = {}
+    evaluator = OrderingEvaluator(hypergraph)
+
+    def fitness(ordering):
+        return ghw_fitness(hypergraph, ordering, rng=None, cache=cache,
+                           evaluator=evaluator)
+
+    islands = [
+        _Island(
+            vertices,
+            fitness,
+            params.island_population,
+            ParameterVector.random(generator),
+            random.Random(generator.randrange(2**31)),
+        )
+        for _ in range(params.num_islands)
+    ]
+    history = [min(island.best_fitness for island in islands)]
+    epochs_run = 0
+    for _epoch in range(params.epochs):
+        if max_seconds is not None and time.monotonic() - start > max_seconds:
+            break
+        epochs_run += 1
+        for island in islands:
+            for _ in range(params.epoch_generations):
+                island.step(crossover, mutation)
+        # Neighbor orientation + parameter mutation on the ring.
+        k = len(islands)
+        new_vectors = []
+        for i, island in enumerate(islands):
+            left = islands[(i - 1) % k]
+            right = islands[(i + 1) % k]
+            neighbor = min((left, right), key=lambda isl: isl.best_fitness)
+            vector = island.vector
+            if neighbor.best_fitness < island.best_fitness:
+                vector = vector.oriented_toward(
+                    neighbor.vector, params.orientation_step, generator
+                )
+            new_vectors.append(vector.mutated(generator, params.noise_scale))
+        for island, vector in zip(islands, new_vectors):
+            island.vector = vector
+        # Ring migration of best individuals.
+        bests = [(isl.best_individual, isl.best_fitness) for isl in islands]
+        for i, island in enumerate(islands):
+            migrant, fit = bests[(i - 1) % k]
+            island.immigrate(migrant, fit)
+        history.append(min(island.best_fitness for island in islands))
+
+    champion = min(islands, key=lambda isl: isl.best_fitness)
+    best_fitness = champion.best_fitness
+    best_individual = list(champion.best_individual)
+    if rescore_exact and best_individual:
+        bags = elimination_bags(hypergraph, best_individual)
+        exact_width = max(
+            len(exact_set_cover(bag, hypergraph, max_nodes=20000))
+            for bag in bags.values()
+        )
+        if exact_width < best_fitness:
+            best_fitness = exact_width
+    return SAIGAResult(
+        best_fitness=best_fitness,
+        best_individual=best_individual,
+        generations_run=epochs_run * params.epoch_generations,
+        evaluations=sum(island.evaluations for island in islands),
+        history=history,
+        elapsed_seconds=time.monotonic() - start,
+        final_parameters=[island.vector for island in islands],
+    )

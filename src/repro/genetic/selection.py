@@ -1,0 +1,48 @@
+"""Selection schemes for the genetic algorithms (thesis §6.1).
+
+The thesis uses *tournament selection*: each slot of the next population
+is filled by sampling a group of ``s`` individuals uniformly and keeping
+the fittest (smallest width).  Larger ``s`` increases selection pressure;
+Table 6.5 finds s = 3–4 best for large populations.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+
+def tournament_select_index(
+    fitnesses: Sequence[float], group_size: int, rng: random.Random
+) -> int:
+    """Index of the winner of one tournament (minimization)."""
+    if not fitnesses:
+        raise ValueError("cannot select from an empty population")
+    if group_size < 1:
+        raise ValueError("group size must be positive")
+    n = len(fitnesses)
+    best = rng.randrange(n)
+    for _ in range(group_size - 1):
+        challenger = rng.randrange(n)
+        if fitnesses[challenger] < fitnesses[best]:
+            best = challenger
+    return best
+
+
+def tournament_selection(
+    population: Sequence,
+    fitnesses: Sequence[float],
+    group_size: int,
+    rng: random.Random,
+    count: int | None = None,
+) -> list:
+    """Select ``count`` individuals (default: population size) by
+    repeated tournaments; individuals are copied so later mutation cannot
+    alias population members."""
+    if len(population) != len(fitnesses):
+        raise ValueError("population and fitnesses must align")
+    size = len(population) if count is None else count
+    return [
+        list(population[tournament_select_index(fitnesses, group_size, rng)])
+        for _ in range(size)
+    ]

@@ -1,0 +1,43 @@
+"""Graph and hypergraph substrate.
+
+Public surface:
+
+* :class:`Graph` — mutable undirected graph with reversible elimination.
+* :class:`Hypergraph` — named hyperedges, primal/dual views.
+* :mod:`repro.hypergraph.generators` — exact instance families and seeded
+  stand-ins for the thesis benchmarks.
+* :mod:`repro.hypergraph.io` — DIMACS / hypergraph-library parsing.
+"""
+
+from .acyclicity import gyo_reduction, is_alpha_acyclic
+from .graph import EliminationRecord, Graph, GraphError, Vertex
+from .hypergraph import Hypergraph, HypergraphError
+from .io import (
+    FormatError,
+    parse_dimacs,
+    parse_hypergraph,
+    parse_pace_graph,
+    write_dimacs,
+    write_hypergraph,
+    write_pace_graph,
+    write_tree_decomposition,
+)
+
+__all__ = [
+    "EliminationRecord",
+    "FormatError",
+    "Graph",
+    "GraphError",
+    "Hypergraph",
+    "HypergraphError",
+    "Vertex",
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "parse_dimacs",
+    "parse_hypergraph",
+    "parse_pace_graph",
+    "write_dimacs",
+    "write_hypergraph",
+    "write_pace_graph",
+    "write_tree_decomposition",
+]

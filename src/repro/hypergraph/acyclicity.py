@@ -1,0 +1,73 @@
+"""α-acyclicity of hypergraphs via the GYO reduction.
+
+A CSP has a join tree iff its constraint hypergraph is α-acyclic
+(Definition 9 / Beeri–Fagin–Maier–Yannakakis).  The Graham–Yu–Özsoyoğlu
+(GYO) reduction decides this: repeatedly
+
+1. delete any vertex that occurs in at most one hyperedge, and
+2. delete any hyperedge contained in another hyperedge;
+
+the hypergraph is α-acyclic iff the reduction terminates with no
+hyperedges (equivalently, one empty residue).  This provides an
+independent oracle for :func:`repro.csp.acyclic.build_join_tree` — the
+two are cross-validated in the tests.
+"""
+
+from __future__ import annotations
+
+from .hypergraph import Hypergraph
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> Hypergraph:
+    """Run the GYO reduction to fixpoint and return the residue.
+
+    The input is not modified.  An α-acyclic hypergraph reduces to a
+    residue with no hyperedges.
+    """
+    edges: dict = {
+        name: set(members) for name, members in hypergraph.edges.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: vertices occurring in at most one hyperedge.
+        occurrences: dict = {}
+        for name, members in edges.items():
+            for v in members:
+                occurrences.setdefault(v, []).append(name)
+        for v, holders in occurrences.items():
+            if len(holders) <= 1:
+                edges[holders[0]].discard(v)
+                changed = True
+        # Drop emptied hyperedges.
+        empty = [name for name, members in edges.items() if not members]
+        if empty:
+            for name in empty:
+                del edges[name]
+            changed = True
+        # Rule 2: hyperedges contained in another hyperedge.
+        names = sorted(edges, key=lambda n: (len(edges[n]), repr(n)))
+        removed: set = set()
+        for i, small in enumerate(names):
+            if small in removed:
+                continue
+            for big in names[i + 1:]:
+                if big in removed:
+                    continue
+                if edges[small] <= edges[big]:
+                    removed.add(small)
+                    changed = True
+                    break
+        for name in removed:
+            del edges[name]
+    residue = Hypergraph()
+    for name, members in edges.items():
+        residue.add_edge(members, name=name)
+    return residue
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is α-acyclic (has a join tree)."""
+    if hypergraph.num_edges == 0:
+        return True
+    return gyo_reduction(hypergraph).num_edges == 0

@@ -1,0 +1,353 @@
+"""Mutable undirected simple graphs with reversible vertex elimination.
+
+The thesis (section 5.2.1) describes a graph object backed by adjacency
+lists, a fill-in log and an adjacency matrix so that branch-and-bound and A*
+searches can eliminate a vertex, descend into the subtree, and restore the
+vertex on backtracking without copying the graph.  This module provides the
+same capability with Python data structures: adjacency sets plus an explicit
+undo stack recording, for every elimination, the removed vertex, its
+neighborhood at removal time and the fill edges that were inserted.
+
+Vertices may be any hashable value (ints, strings, tuples).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Optional
+
+Vertex = Hashable
+
+
+class GraphError(Exception):
+    """Raised on invalid graph operations (unknown vertices, self-loops)."""
+
+
+@dataclass(frozen=True)
+class EliminationRecord:
+    """Undo-log entry for a single vertex elimination.
+
+    Attributes:
+        vertex: the eliminated vertex.
+        neighbors: neighborhood of ``vertex`` at the moment of elimination
+            (this is the bag produced by vertex elimination, minus the
+            vertex itself).
+        fill_edges: edges inserted between previously non-adjacent
+            neighbors, as ``(u, v)`` tuples.
+    """
+
+    vertex: Vertex
+    neighbors: frozenset
+    fill_edges: tuple = field(default_factory=tuple)
+
+
+class Graph:
+    """An undirected simple graph supporting reversible vertex elimination.
+
+    The class intentionally mirrors the small API surface used by the
+    heuristics in this package: neighborhoods, degrees, elimination with
+    fill-in, edge contraction (for minor-based lower bounds) and cheap
+    copies.
+
+    Example:
+        >>> g = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        >>> sorted(g.neighbors(3))
+        [1, 2, 4]
+        >>> g.eliminate(3)  # connects 1-2-4 into a clique, removes 3
+        >>> g.has_edge(1, 4) and g.has_edge(2, 4)
+        True
+        >>> g.restore()     # undo: 3 is back, fill edges removed
+        >>> g.has_edge(1, 4)
+        False
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_undo_stack")
+
+    def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[tuple] = ()):
+        self._adj: dict[Vertex, set] = {}
+        self._num_edges = 0
+        self._undo_stack: list[EliminationRecord] = []
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def complete(cls, vertices: Iterable[Vertex]) -> "Graph":
+        """Build the complete graph on ``vertices``."""
+        vs = list(vertices)
+        graph = cls(vertices=vs)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1:]:
+                graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return an independent copy (the undo stack is not copied)."""
+        clone = Graph()
+        clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the induced subgraph on ``vertices``."""
+        keep = set(vertices)
+        unknown = keep - self._adj.keys()
+        if unknown:
+            raise GraphError(f"unknown vertices: {sorted(map(repr, unknown))}")
+        sub = Graph(vertices=keep)
+        for v in keep:
+            for u in self._adj[v] & keep:
+                sub.add_edge(u, v)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices(self) -> set:
+        """The vertex set (a live view copy)."""
+        return set(self._adj)
+
+    def vertex_list(self) -> list:
+        """Vertices in insertion order (deterministic iteration)."""
+        return list(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, vertex: Vertex) -> set:
+        """The (copied) neighborhood of ``vertex``."""
+        return set(self._neighbors(vertex))
+
+    def _neighbors(self, vertex: Vertex) -> set:
+        try:
+            return self._adj[vertex]
+        except KeyError:
+            raise GraphError(f"unknown vertex: {vertex!r}") from None
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._neighbors(vertex))
+
+    def edges(self) -> Iterator[tuple]:
+        """Iterate every edge exactly once."""
+        seen: set = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._adj.setdefault(vertex, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge between {u!r} and {v!r}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Delete ``vertex`` and all incident edges (not undoable)."""
+        nbrs = self._neighbors(vertex)
+        for u in nbrs:
+            self._adj[u].discard(vertex)
+        self._num_edges -= len(nbrs)
+        del self._adj[vertex]
+
+    # ------------------------------------------------------------------
+    # Elimination with undo (the BB / A* workhorse)
+    # ------------------------------------------------------------------
+
+    def eliminate(self, vertex: Vertex) -> EliminationRecord:
+        """Eliminate ``vertex``: clique its neighborhood, then remove it.
+
+        The operation is recorded on an undo stack; :meth:`restore` undoes
+        the most recent elimination.  Returns the undo record, whose
+        ``neighbors`` field is the elimination bag minus the vertex.
+        """
+        nbrs = list(self._neighbors(vertex))
+        fill: list[tuple] = []
+        for i, u in enumerate(nbrs):
+            adj_u = self._adj[u]
+            for v in nbrs[i + 1:]:
+                if v not in adj_u:
+                    adj_u.add(v)
+                    self._adj[v].add(u)
+                    self._num_edges += 1
+                    fill.append((u, v))
+        record = EliminationRecord(
+            vertex=vertex, neighbors=frozenset(nbrs), fill_edges=tuple(fill)
+        )
+        self.remove_vertex(vertex)
+        self._undo_stack.append(record)
+        return record
+
+    def restore(self) -> EliminationRecord:
+        """Undo the most recent :meth:`eliminate` call."""
+        if not self._undo_stack:
+            raise GraphError("nothing to restore: undo stack is empty")
+        record = self._undo_stack.pop()
+        for u, v in record.fill_edges:
+            self.remove_edge(u, v)
+        self.add_vertex(record.vertex)
+        for u in record.neighbors:
+            self.add_edge(record.vertex, u)
+        return record
+
+    @property
+    def elimination_depth(self) -> int:
+        """How many eliminations are currently undoable."""
+        return len(self._undo_stack)
+
+    def fill_in_count(self, vertex: Vertex) -> int:
+        """Number of edges elimination of ``vertex`` would insert."""
+        nbrs = list(self._neighbors(vertex))
+        missing = 0
+        for i, u in enumerate(nbrs):
+            adj_u = self._adj[u]
+            for v in nbrs[i + 1:]:
+                if v not in adj_u:
+                    missing += 1
+        return missing
+
+    # ------------------------------------------------------------------
+    # Minor operations (for lower-bound heuristics)
+    # ------------------------------------------------------------------
+
+    def contract_edge(self, u: Vertex, v: Vertex) -> None:
+        """Contract edge ``{u, v}`` into ``u`` (``v`` disappears).
+
+        Used by the minor-based treewidth lower bounds (minor-min-width,
+        minor-γ_R), which repeatedly contract an edge between a minimum
+        degree vertex and its least-degree neighbor.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"cannot contract non-edge {u!r}-{v!r}")
+        for w in list(self._adj[v]):
+            if w != u:
+                self.add_edge(u, w)
+        self.remove_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """True iff ``vertices`` are pairwise adjacent."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            adj_u = self._neighbors(u)
+            for v in vs[i + 1:]:
+                if v not in adj_u:
+                    return False
+        return True
+
+    def is_simplicial(self, vertex: Vertex) -> bool:
+        """True iff the neighborhood of ``vertex`` induces a clique."""
+        return self.is_clique(self._neighbors(vertex))
+
+    def almost_simplicial_witness(self, vertex: Vertex) -> Optional[Vertex]:
+        """If all but one neighbor of ``vertex`` induce a clique, return the
+        odd neighbor out; return ``None`` otherwise.
+
+        A vertex with an empty or singleton non-clique defect has no single
+        witness; simplicial vertices return ``None`` as well (they are
+        handled by :meth:`is_simplicial` first).
+        """
+        nbrs = list(self._neighbors(vertex))
+        for skipped in nbrs:
+            rest = [u for u in nbrs if u != skipped]
+            if self.is_clique(rest):
+                if not self.is_clique(nbrs):
+                    return skipped
+        return None
+
+    def connected_components(self) -> list[set]:
+        """Return the connected components as a list of vertex sets."""
+        remaining = set(self._adj)
+        components: list[set] = []
+        while remaining:
+            root = next(iter(remaining))
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                v = frontier.pop()
+                for u in self._adj[v]:
+                    if u not in seen:
+                        seen.add(u)
+                        frontier.append(u)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def min_degree_vertex(self) -> Vertex:
+        """A vertex of minimum degree (deterministic tie-break by order)."""
+        if not self._adj:
+            raise GraphError("graph is empty")
+        return min(self._adj, key=lambda v: (len(self._adj[v]), _sort_key(v)))
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def _sort_key(vertex: Vertex) -> tuple:
+    """Total order over mixed-type vertices for deterministic tie-breaks."""
+    return (str(type(vertex)), repr(vertex))

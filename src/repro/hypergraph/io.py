@@ -1,0 +1,187 @@
+"""Readers and writers for common graph / hypergraph text formats.
+
+Supported formats:
+
+* **DIMACS graph colouring** (``.col``): ``p edge N M`` header plus
+  ``e u v`` lines — the format of the Second DIMACS challenge instances
+  used in thesis Tables 5.1 and 6.x.
+* **Hypergraph edge-list** (the CSP hypergraph library's flavour):
+  lines of the form ``name(v1, v2, v3),`` — one hyperedge per line.
+* **PACE-style tree decomposition** output (``s td ...`` / ``b ...``)
+  for interoperability with external validators.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from .graph import Graph
+from .hypergraph import Hypergraph
+
+
+class FormatError(Exception):
+    """Raised when an input file does not conform to the expected format."""
+
+
+# ----------------------------------------------------------------------
+# DIMACS .col
+# ----------------------------------------------------------------------
+
+
+def parse_dimacs(text: str) -> Graph:
+    """Parse a DIMACS ``.col`` graph.
+
+    Vertices are 1-based integers as in the files.  Comment lines (``c``)
+    are ignored; ``n`` vertex-label lines are tolerated.
+    """
+    graph = Graph()
+    declared: tuple[int, int] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        if kind == "p":
+            if len(fields) != 4 or fields[1] not in ("edge", "edges", "col"):
+                raise FormatError(f"line {lineno}: malformed problem line {line!r}")
+            declared = (int(fields[2]), int(fields[3]))
+            for v in range(1, declared[0] + 1):
+                graph.add_vertex(v)
+        elif kind == "e":
+            if len(fields) < 3:
+                raise FormatError(f"line {lineno}: malformed edge line {line!r}")
+            u, v = int(fields[1]), int(fields[2])
+            if u != v:
+                graph.add_edge(u, v)
+        elif kind == "n":
+            continue  # vertex weight/label lines: irrelevant for width
+        else:
+            raise FormatError(f"line {lineno}: unknown record type {kind!r}")
+    if declared is None:
+        raise FormatError("missing 'p edge' problem line")
+    return graph
+
+
+def write_dimacs(graph: Graph, name: str = "") -> str:
+    """Serialize ``graph`` as DIMACS ``.col`` text.
+
+    Non-integer vertices are relabelled to 1..n in insertion order.
+    """
+    order = graph.vertex_list()
+    index = {v: i + 1 for i, v in enumerate(order)}
+    lines = []
+    if name:
+        lines.append(f"c {name}")
+    lines.append(f"p edge {graph.num_vertices} {graph.num_edges}")
+    for u, v in graph.edges():
+        a, b = index[u], index[v]
+        if a > b:
+            a, b = b, a
+        lines.append(f"e {a} {b}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_pace_graph(text: str) -> Graph:
+    """Parse a PACE-challenge ``.gr`` graph (``p tw N M`` header plus
+    bare ``u v`` edge lines; ``c`` comments)."""
+    graph = Graph()
+    declared = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        if fields[0] == "p":
+            if len(fields) != 4 or fields[1] != "tw":
+                raise FormatError(
+                    f"line {lineno}: malformed problem line {line!r}"
+                )
+            declared = True
+            for v in range(1, int(fields[2]) + 1):
+                graph.add_vertex(v)
+        else:
+            if len(fields) != 2:
+                raise FormatError(f"line {lineno}: malformed edge {line!r}")
+            u, v = int(fields[0]), int(fields[1])
+            if u != v:
+                graph.add_edge(u, v)
+    if not declared:
+        raise FormatError("missing 'p tw' problem line")
+    return graph
+
+
+def write_pace_graph(graph: Graph) -> str:
+    """Serialize ``graph`` as PACE ``.gr`` text (vertices relabelled
+    1..n in insertion order)."""
+    index = {v: i + 1 for i, v in enumerate(graph.vertex_list())}
+    lines = [f"p tw {graph.num_vertices} {graph.num_edges}"]
+    for u, v in graph.edges():
+        a, b = index[u], index[v]
+        if a > b:
+            a, b = b, a
+        lines.append(f"{a} {b}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Hypergraph edge-list ("name(v1,v2,...)," lines)
+# ----------------------------------------------------------------------
+
+_EDGE_RE = re.compile(r"^\s*([\w.\-]+)\s*\(([^)]*)\)\s*[,.]?\s*$")
+
+
+def parse_hypergraph(text: str) -> Hypergraph:
+    """Parse the CSP-hypergraph-library edge list format.
+
+    Each non-empty, non-``%``-comment line reads ``name(v1, v2, ...)``,
+    optionally terminated by ``,`` or ``.``.
+    """
+    hypergraph = Hypergraph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("%") or line.startswith("//"):
+            continue
+        match = _EDGE_RE.match(line)
+        if not match:
+            raise FormatError(f"line {lineno}: cannot parse {line!r}")
+        name, members_text = match.groups()
+        members = [tok.strip() for tok in members_text.split(",") if tok.strip()]
+        if not members:
+            raise FormatError(f"line {lineno}: hyperedge {name!r} has no vertices")
+        hypergraph.add_edge(members, name=name)
+    return hypergraph
+
+
+def write_hypergraph(hypergraph: Hypergraph) -> str:
+    """Serialize ``hypergraph`` in the edge-list format."""
+    lines = []
+    for name, edge in hypergraph.edges.items():
+        members = ",".join(str(v) for v in sorted(edge, key=repr))
+        lines.append(f"{name}({members}),")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# PACE-style tree decomposition text
+# ----------------------------------------------------------------------
+
+
+def write_tree_decomposition(
+    bags: dict, tree_edges: Iterable[tuple], num_graph_vertices: int
+) -> str:
+    """Serialize a tree decomposition in PACE ``.td`` style.
+
+    ``bags`` maps bag id (any hashable) to an iterable of integer
+    vertices; ``tree_edges`` connects bag ids.
+    """
+    ids = {bag: i + 1 for i, bag in enumerate(bags)}
+    width_plus_one = max((len(set(content)) for content in bags.values()), default=0)
+    lines = [f"s td {len(bags)} {width_plus_one} {num_graph_vertices}"]
+    for bag, content in bags.items():
+        members = " ".join(str(v) for v in sorted(set(content)))
+        lines.append(f"b {ids[bag]} {members}".rstrip())
+    for a, b in tree_edges:
+        lines.append(f"{ids[a]} {ids[b]}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,19 @@
+"""Named benchmark instances of the thesis' evaluation tables."""
+
+from .registry import (
+    Instance,
+    UnknownInstanceError,
+    get_instance,
+    instance_names,
+    list_instances,
+    register,
+)
+
+__all__ = [
+    "Instance",
+    "UnknownInstanceError",
+    "get_instance",
+    "instance_names",
+    "list_instances",
+    "register",
+]

@@ -1,0 +1,137 @@
+"""CSP hypergraph library instances (thesis Tables 7.1, 7.2, 8.1–8.2 and
+9.1–9.2, drawn from the Vienna CSP hypergraph benchmark library [22]).
+
+``adder_N``, ``bridge_N``, ``clique_N``, ``grid2d_N`` and ``grid3d_N``
+are exact constructions whose vertex/hyperedge counts match the table
+columns.  The ISCAS circuit instances (``b06`` ... ``c880``) are seeded
+circuit-like stand-ins at the published sizes.
+
+The full text of Tables 7.2/8.x/9.x was truncated in our source; rows we
+could transcribe carry paper values, the rest are benchmarked with
+``paper: {}`` and reported as measured-only.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..hypergraph.generators import (
+    adder_hypergraph,
+    bridge_hypergraph,
+    clique_hypergraph,
+    grid2d_hypergraph,
+    grid3d_hypergraph,
+    random_circuit_hypergraph,
+)
+from .registry import Instance, register
+
+
+def _seed(name: str) -> int:
+    return sum(ord(c) * (i + 1) for i, c in enumerate(name)) % (2**31)
+
+
+# (name, V, H, prior_best_ub, ga_min, ga_avg) — Table 7.1 (GA-ghw).
+TABLE_7_1 = [
+    ("adder_75", 376, 526, 2, 3, 3.0),
+    ("adder_99", 496, 694, 2, 3, 3.0),
+    ("b06", 48, 50, 5, 4, 4.0),
+    ("b08", 170, 179, 10, 9, 9.0),
+    ("b09", 168, 169, 10, 7, 7.0),
+    ("b10", 189, 200, 14, 11, 11.8),
+    ("bridge_50", 452, 452, 2, 6, 6.0),
+    ("c499", 202, 243, 13, 11, 11.7),
+    ("c880", 383, 443, 19, 17, 17.2),
+    ("clique_20", 20, 190, 10, 11, 11.2),
+    ("grid2d_20", 200, 200, 11, 10, 10.0),
+    ("grid3d_8", 256, 256, 20, 21, 21.3),
+]
+
+
+def _register_table_7_1() -> None:
+    for name, v, h, prior_ub, ga_min, ga_avg in TABLE_7_1:
+        paper = {
+            "table_7_1": {
+                "prior_best_ub": prior_ub, "ga_min": ga_min, "ga_avg": ga_avg,
+            }
+        }
+        if name.startswith("adder_"):
+            n = int(name.split("_")[1])
+            factory = functools.partial(adder_hypergraph, n)
+            provenance = "exact"
+        elif name.startswith("bridge_"):
+            n = int(name.split("_")[1])
+            factory = functools.partial(bridge_hypergraph, n)
+            provenance = "exact"
+        elif name.startswith("clique_"):
+            n = int(name.split("_")[1])
+            factory = functools.partial(clique_hypergraph, n)
+            provenance = "exact"
+        elif name.startswith("grid2d_"):
+            n = int(name.split("_")[1])
+            factory = functools.partial(grid2d_hypergraph, n)
+            provenance = "exact"
+        elif name.startswith("grid3d_"):
+            n = int(name.split("_")[1])
+            factory = functools.partial(grid3d_hypergraph, n)
+            provenance = "exact"
+        else:  # ISCAS circuits
+            factory = functools.partial(
+                random_circuit_hypergraph, v, h, _seed(name)
+            )
+            provenance = "synthetic"
+        register(
+            Instance(
+                name=name,
+                kind="hypergraph",
+                provenance=provenance,
+                factory=factory,
+                reported_vertices=v,
+                reported_edges=h,
+                paper=paper,
+            )
+        )
+
+
+# Smaller members of the exact families, used by the exact-search tables
+# (8.x / 9.x report "selected benchmark hypergraphs"; the truncated text
+# hides which, so we bench the tractable family members and report
+# measured-only values).
+SMALL_FAMILY = [
+    ("adder_5", adder_hypergraph, 5),
+    ("adder_10", adder_hypergraph, 10),
+    ("adder_15", adder_hypergraph, 15),
+    ("adder_25", adder_hypergraph, 25),
+    ("bridge_5", bridge_hypergraph, 5),
+    ("bridge_10", bridge_hypergraph, 10),
+    ("bridge_15", bridge_hypergraph, 15),
+    ("clique_6", clique_hypergraph, 6),
+    ("clique_8", clique_hypergraph, 8),
+    ("clique_10", clique_hypergraph, 10),
+    ("clique_15", clique_hypergraph, 15),
+    ("grid2d_4", grid2d_hypergraph, 4),
+    ("grid2d_6", grid2d_hypergraph, 6),
+    ("grid2d_8", grid2d_hypergraph, 8),
+    ("grid2d_10", grid2d_hypergraph, 10),
+    ("grid3d_4", grid3d_hypergraph, 4),
+]
+
+
+def _register_small_family() -> None:
+    for name, builder, n in SMALL_FAMILY:
+        built = builder(n)
+        register(
+            Instance(
+                name=name,
+                kind="hypergraph",
+                provenance="exact",
+                factory=functools.partial(builder, n),
+                reported_vertices=built.num_vertices,
+                reported_edges=built.num_edges,
+                paper={},
+                notes="small family member for the exact-search tables",
+            )
+        )
+
+
+_register_table_7_1()
+_register_small_family()

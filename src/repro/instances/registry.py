@@ -1,0 +1,99 @@
+"""The named-instance registry.
+
+Every benchmark instance of the thesis' tables is registered here with
+
+* a deterministic factory (exact construction or seeded stand-in),
+* the vertex/edge counts the thesis reports,
+* the paper's reported numbers for that instance, keyed by table,
+* a provenance marker: ``exact`` constructions reproduce the original
+  instance; ``synthetic`` stand-ins match the published size and family
+  (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..hypergraph.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+
+
+class UnknownInstanceError(KeyError):
+    """Raised when an instance name is not registered."""
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A registered benchmark instance.
+
+    ``paper`` maps metric names (e.g. ``"table_5_1_astar"``) to the
+    values the thesis reports.  ``reported_vertices``/``reported_edges``
+    are the thesis' table columns; for exact constructions they match
+    the built object (up to DIMACS' doubled edge listings, flagged in
+    ``notes``).
+    """
+
+    name: str
+    kind: str  # "graph" | "hypergraph"
+    provenance: str  # "exact" | "synthetic"
+    factory: Callable[[], Graph | Hypergraph]
+    reported_vertices: int
+    reported_edges: int
+    paper: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def build(self) -> Graph | Hypergraph:
+        return self.factory()
+
+
+_REGISTRY: dict[str, Instance] = {}
+
+
+def register(instance: Instance) -> Instance:
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate instance name {instance.name!r}")
+    if instance.kind not in ("graph", "hypergraph"):
+        raise ValueError(f"bad kind {instance.kind!r}")
+    if instance.provenance not in ("exact", "synthetic"):
+        raise ValueError(f"bad provenance {instance.provenance!r}")
+    _REGISTRY[instance.name] = instance
+    return instance
+
+
+def get_instance(name: str) -> Instance:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownInstanceError(name) from None
+
+
+def list_instances(
+    kind: str | None = None, provenance: str | None = None
+) -> list[Instance]:
+    _ensure_loaded()
+    out = []
+    for instance in _REGISTRY.values():
+        if kind is not None and instance.kind != kind:
+            continue
+        if provenance is not None and instance.provenance != provenance:
+            continue
+        out.append(instance)
+    return out
+
+
+def instance_names(kind: str | None = None) -> list[str]:
+    return [instance.name for instance in list_instances(kind)]
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Populate the registry lazily (avoids import cycles)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import dimacs, hypergraphs  # noqa: F401  (import side effects)

@@ -1,0 +1,51 @@
+"""Exact search algorithms: A*-tw (Ch. 5), BB-tw (§4.4), BB-ghw (Ch. 8)
+and A*-ghw (Ch. 9), plus their shared reductions and pruning rules."""
+
+from .astar_ghw import astar_ghw
+from .astar_tw import astar_treewidth, brute_force_treewidth
+from .bb_ghw import branch_and_bound_ghw, brute_force_ghw
+from .bb_tw import branch_and_bound_treewidth
+from .detkdecomp import det_k_decomp, hypertree_width
+from .common import (
+    BudgetExceeded,
+    GraphReplayer,
+    SearchBudget,
+    SearchResult,
+    SearchStats,
+)
+from .pruning import (
+    default_precedes,
+    pr1_closes_subtree,
+    pr1_effective_width,
+    swap_equivalent,
+)
+from .reductions import (
+    find_reducible,
+    find_simplicial,
+    find_strongly_almost_simplicial,
+    reduce_graph,
+)
+
+__all__ = [
+    "BudgetExceeded",
+    "GraphReplayer",
+    "SearchBudget",
+    "SearchResult",
+    "SearchStats",
+    "astar_ghw",
+    "astar_treewidth",
+    "branch_and_bound_ghw",
+    "branch_and_bound_treewidth",
+    "brute_force_ghw",
+    "brute_force_treewidth",
+    "default_precedes",
+    "det_k_decomp",
+    "hypertree_width",
+    "find_reducible",
+    "find_simplicial",
+    "find_strongly_almost_simplicial",
+    "pr1_closes_subtree",
+    "pr1_effective_width",
+    "reduce_graph",
+    "swap_equivalent",
+]

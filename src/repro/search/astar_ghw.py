@@ -1,0 +1,176 @@
+"""A*-ghw: an A* algorithm for generalized hypertree width (Chapter 9).
+
+Best-first counterpart of BB-ghw over the same search space with the same
+node values: g = largest exact bag-cover size along the partial ordering,
+h = node-wise tw-ksc-width bound of the remaining graph, and
+f = max(g, h, parent f).  Since h is admissible and f monotone, popped
+f-values never decrease — interrupted runs therefore report the last
+popped f as a proven ghw lower bound, the anytime behaviour highlighted
+in Tables 9.1–9.2.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..bounds.ghw_lower import ghw_lower_bound
+from ..bounds.upper import best_heuristic_ordering
+from ..hypergraph.hypergraph import Hypergraph
+from .common import (
+    BudgetExceeded,
+    GraphReplayer,
+    SearchBudget,
+    SearchResult,
+    SearchStats,
+)
+from .ghw_common import GhwSearchContext, initial_ghw_bounds
+from .pruning import default_precedes, swap_equivalent
+from .reductions import find_simplicial, find_strongly_almost_simplicial
+
+
+@dataclass(order=True)
+class _State:
+    f: int
+    neg_depth: int
+    tiebreak: int
+    g: int = field(compare=False)
+    ordering: tuple = field(compare=False)
+    children: tuple = field(compare=False)
+    reduced: bool = field(compare=False)
+
+
+def astar_ghw(
+    hypergraph: Hypergraph,
+    budget: SearchBudget | None = None,
+    rng: random.Random | None = None,
+    use_reductions: bool = True,
+    use_sas: bool = False,
+    use_pr2: bool = True,
+) -> SearchResult:
+    """Compute ``ghw(H)`` with A* (exact when the budget allows; anytime
+    upper/lower bounds otherwise)."""
+    stats = SearchStats()
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        raise ValueError(
+            f"hypergraph has isolated vertices {sorted(map(repr, isolated))}; "
+            "no generalized hypertree decomposition exists"
+        )
+    if hypergraph.num_edges == 0:
+        return SearchResult(0, 0, hypergraph.vertex_list(), True, stats)
+    graph = hypergraph.primal_graph()
+    context = GhwSearchContext(hypergraph)
+    all_vertices = graph.vertex_list()
+    if graph.num_vertices <= 1:
+        return SearchResult(1, 1, all_vertices, True, stats)
+
+    lb = ghw_lower_bound(hypergraph, rng)
+    ub_ordering, _tw = best_heuristic_ordering(hypergraph, rng)
+    ub = initial_ghw_bounds(hypergraph, context, ub_ordering)
+    if lb >= ub:
+        return SearchResult(ub, ub, ub_ordering, True, stats)
+
+    clock = (budget or SearchBudget()).start()
+    replayer = GraphReplayer(graph)
+    counter = itertools.count()
+
+    def forced_vertex(current, bound):
+        vertex = find_simplicial(current)
+        if vertex is None and use_sas:
+            vertex = find_strongly_almost_simplicial(current, bound)
+        return vertex
+
+    forced = forced_vertex(graph, lb) if use_reductions else None
+    root = _State(
+        f=lb,
+        neg_depth=0,
+        tiebreak=next(counter),
+        g=0,
+        ordering=(),
+        children=(forced,) if forced is not None else tuple(all_vertices),
+        reduced=forced is not None,
+    )
+    queue = [root]
+    best_lb = lb
+    best_ub = ub
+    best_ub_ordering = list(ub_ordering)
+
+    try:
+        while queue:
+            state = heapq.heappop(queue)
+            if state.f >= best_ub:
+                continue
+            clock.tick()
+            stats.nodes_expanded += 1
+            best_lb = max(best_lb, state.f)
+            current = replayer.move_to(state.ordering)
+            completion = context.completion_bound(current)
+            total = max(state.g, completion)
+            if total < best_ub:
+                best_ub = total
+                best_ub_ordering = list(state.ordering) + [
+                    v for v in all_vertices if v not in state.ordering
+                ]
+            if completion <= state.g or len(current) == 0:
+                # Goal: every completion has width exactly g.
+                stats.elapsed_seconds = clock.elapsed
+                return SearchResult(
+                    state.g, state.g, best_ub_ordering, True, stats
+                )
+            for vertex in state.children:
+                if vertex not in current:
+                    continue
+                cost = context.child_cost(current, vertex)
+                g = max(state.g, cost)
+                if g >= best_ub:
+                    continue
+                if use_pr2 and not state.reduced:
+                    allowed = tuple(
+                        w
+                        for w in current.vertex_list()
+                        if w != vertex
+                        and (
+                            not swap_equivalent(current, vertex, w)
+                            or default_precedes(vertex, w)
+                        )
+                    )
+                else:
+                    allowed = tuple(
+                        w for w in current.vertex_list() if w != vertex
+                    )
+                current.eliminate(vertex)
+                h = context.heuristic(current)
+                f = max(g, h, state.f)
+                child_children = allowed
+                reduced = False
+                if use_reductions and f < best_ub:
+                    fv = forced_vertex(current, f)
+                    if fv is not None:
+                        child_children = (fv,)
+                        reduced = True
+                current.restore()
+                if f < best_ub:
+                    heapq.heappush(
+                        queue,
+                        _State(
+                            f=f,
+                            neg_depth=-(len(state.ordering) + 1),
+                            tiebreak=next(counter),
+                            g=g,
+                            ordering=state.ordering + (vertex,),
+                            children=child_children,
+                            reduced=reduced,
+                        ),
+                    )
+            stats.max_frontier = max(stats.max_frontier, len(queue))
+        stats.elapsed_seconds = clock.elapsed
+        return SearchResult(best_ub, best_ub, best_ub_ordering, True, stats)
+    except BudgetExceeded:
+        stats.budget_exhausted = True
+        stats.elapsed_seconds = clock.elapsed
+        return SearchResult(
+            best_ub, best_lb, best_ub_ordering, best_lb >= best_ub, stats
+        )

@@ -1,0 +1,290 @@
+"""A*-tw: an A* algorithm for exact treewidth (thesis Chapter 5).
+
+The search space is the tree of partial elimination orderings.  A state
+holds a partial ordering; its cost-so-far ``g`` is the largest elimination
+degree along the ordering, its heuristic ``h`` a treewidth lower bound of
+the remaining graph, and ``f = max(g, h, parent.f)`` — an admissible,
+monotone estimate of the best width reachable below the state (§5.1).
+
+Search-space reductions: simplicial / strongly-almost-simplicial vertices
+force a single child (§4.4.3); pruning rule PR 2 removes swap-equivalent
+sibling branches (§4.4.5); PR 1 tightens the incumbent upper bound at
+every evaluation.  States with ``f >= ub`` are discarded (the thesis'
+memory-saving measure, §5.2.3).
+
+Anytime behaviour (§5.3): popped f-values are nondecreasing, so when the
+budget expires the largest popped ``f`` is a proven treewidth lower
+bound, reported in the result.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..bounds.lower import minor_gamma_r, minor_min_width
+from ..bounds.upper import best_heuristic_ordering
+from ..hypergraph.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+from .common import (
+    BudgetExceeded,
+    GraphReplayer,
+    SearchBudget,
+    SearchResult,
+    SearchStats,
+)
+from .pruning import default_precedes, pr1_effective_width, swap_equivalent
+from .reductions import find_reducible
+
+
+@dataclass(order=True)
+class _State:
+    """A search state; the dataclass ordering drives the priority queue:
+    smallest f first, deepest first among equals (§5.3), then FIFO."""
+
+    f: int
+    neg_depth: int
+    tiebreak: int
+    g: int = field(compare=False)
+    ordering: tuple = field(compare=False)
+    children: tuple = field(compare=False)
+    reduced: bool = field(compare=False)
+
+
+LowerBoundName = str
+
+
+def _child_lower_bound(name: LowerBoundName) -> Callable[[Graph], int]:
+    """Resolve the per-child heuristic.  ``mmw`` is the default trade-off;
+    ``both`` matches the thesis exactly (max of minor-min-width and
+    minor-γ_R); ``none`` disables h (degenerates towards branch and
+    bound on g alone)."""
+    if name == "mmw":
+        return lambda graph: minor_min_width(graph)
+    if name == "both":
+        return lambda graph: max(minor_min_width(graph), minor_gamma_r(graph))
+    if name == "none":
+        return lambda graph: 0
+    raise ValueError(f"unknown child lower bound {name!r}")
+
+
+def astar_treewidth(
+    structure: Graph | Hypergraph,
+    budget: SearchBudget | None = None,
+    rng: random.Random | None = None,
+    use_reductions: bool = True,
+    use_pr2: bool = True,
+    child_lower_bound: LowerBoundName = "mmw",
+    memoize: bool = False,
+) -> SearchResult:
+    """Compute the treewidth of a graph (or of a hypergraph, via its
+    primal graph — Lemma 1) with A*.
+
+    Returns a :class:`SearchResult`; ``exact`` is True when the treewidth
+    was fixed within the budget, otherwise ``lower_bound``/``upper_bound``
+    bracket it.
+
+    ``memoize`` enables a transposition table over *eliminated vertex
+    sets* (an extension beyond the thesis): two partial orderings over
+    the same set leave the same graph, so a state is dominated — and can
+    be skipped — when the set was already expanded with a cost-so-far no
+    larger than its own.  Exactness is preserved; memory grows with the
+    number of distinct expanded sets.
+    """
+    graph = (
+        structure.primal_graph()
+        if isinstance(structure, Hypergraph)
+        else structure.copy()
+    )
+    stats = SearchStats()
+    n = graph.num_vertices
+    if n == 0:
+        return SearchResult(0, 0, [], True, stats)
+    all_vertices = graph.vertex_list()
+    if n == 1:
+        return SearchResult(0, 0, all_vertices, True, stats)
+
+    h_fn = _child_lower_bound(child_lower_bound)
+    lb = max(minor_min_width(graph, rng), minor_gamma_r(graph, rng))
+    ub_ordering, ub = best_heuristic_ordering(graph, rng)
+    if lb >= ub:
+        return SearchResult(ub, ub, ub_ordering, True, stats)
+
+    clock = (budget or SearchBudget()).start()
+    replayer = GraphReplayer(graph)
+    counter = itertools.count()
+
+    root_children = _initial_children(graph, lb, use_reductions)
+    root = _State(
+        f=lb,
+        neg_depth=0,
+        tiebreak=next(counter),
+        g=0,
+        ordering=(),
+        children=root_children[0],
+        reduced=root_children[1],
+    )
+    queue: list[_State] = [root]
+    best_lb = lb
+    expanded_sets: dict[frozenset, int] = {}
+
+    try:
+        while queue:
+            state = heapq.heappop(queue)
+            if state.f >= ub:
+                continue  # stale: ub improved since the push
+            if memoize:
+                key = frozenset(state.ordering)
+                dominated = expanded_sets.get(key)
+                if dominated is not None and dominated <= state.g:
+                    continue  # same set reached before with cost <= ours
+                expanded_sets[key] = state.g
+            clock.tick()
+            stats.nodes_expanded += 1
+            best_lb = max(best_lb, state.f)
+            current = replayer.move_to(state.ordering)
+            remaining = len(current)
+            if state.g >= remaining - 1:
+                ordering = list(state.ordering) + current.vertex_list()
+                stats.elapsed_seconds = clock.elapsed
+                stats.max_frontier = max(stats.max_frontier, len(queue))
+                return SearchResult(state.g, state.g, ordering, True, stats)
+            for child in _expand(
+                state, current, replayer, h_fn, counter,
+                use_reductions, use_pr2,
+            ):
+                completion = pr1_effective_width(child.g, remaining - 1)
+                if completion < ub:
+                    ub = completion
+                    ub_ordering = list(child.ordering) + [
+                        v for v in all_vertices if v not in child.ordering
+                    ]
+                if child.f < ub:
+                    heapq.heappush(queue, child)
+            stats.max_frontier = max(stats.max_frontier, len(queue))
+        # Queue exhausted: every branch was pruned at f >= ub, so ub is
+        # also a lower bound — the treewidth is exactly ub.
+        stats.elapsed_seconds = clock.elapsed
+        return SearchResult(ub, ub, ub_ordering, True, stats)
+    except BudgetExceeded:
+        stats.budget_exhausted = True
+        stats.elapsed_seconds = clock.elapsed
+        return SearchResult(ub, best_lb, ub_ordering, best_lb >= ub, stats)
+
+
+def _initial_children(
+    graph: Graph, lower_bound: int, use_reductions: bool
+) -> tuple[tuple, bool]:
+    if use_reductions:
+        forced = find_reducible(graph, lower_bound)
+        if forced is not None:
+            return (forced,), True
+    return tuple(graph.vertex_list()), False
+
+
+def _expand(
+    state: _State,
+    current: Graph,
+    replayer: GraphReplayer,
+    h_fn: Callable[[Graph], int],
+    counter,
+    use_reductions: bool,
+    use_pr2: bool,
+) -> list[_State]:
+    """Evaluate all children of ``state`` (graph positioned at its
+    ordering on entry and on exit)."""
+    children: list[_State] = []
+    last = state.ordering[-1] if state.ordering else None
+    for vertex in state.children:
+        if vertex not in current:
+            continue  # defensive: reductions may have consumed it
+        degree = current.degree(vertex)
+        # PR 2 candidates must be computed while `vertex` is present.
+        if use_pr2 and not state.reduced:
+            allowed = tuple(
+                w
+                for w in current.vertex_list()
+                if w != vertex
+                and (
+                    not swap_equivalent(current, vertex, w)
+                    or default_precedes(vertex, w)
+                )
+            )
+        else:
+            allowed = tuple(w for w in current.vertex_list() if w != vertex)
+        record = current.eliminate(vertex)
+        g = max(state.g, degree)
+        h = h_fn(current)
+        f = max(g, h, state.f)
+        reduced = False
+        child_children = allowed
+        if use_reductions:
+            forced = find_reducible(current, f)
+            if forced is not None:
+                child_children = (forced,)
+                reduced = True
+        children.append(
+            _State(
+                f=f,
+                neg_depth=-(len(state.ordering) + 1),
+                tiebreak=next(counter),
+                g=g,
+                ordering=state.ordering + (vertex,),
+                children=child_children,
+                reduced=reduced,
+            )
+        )
+        current.restore()
+        assert record.vertex == vertex
+    return children
+
+
+def brute_force_treewidth(graph: Graph) -> int:
+    """Exact treewidth by dynamic programming over vertex subsets
+    (reference oracle for tests; exponential — use only for small n).
+
+    ``f(S)`` = best width of an ordering eliminating exactly the set S
+    first; the elimination degree of v against eliminated set S is the
+    number of distinct vertices outside S reachable from v through
+    eliminated vertices.
+    """
+    vertices = graph.vertex_list()
+    n = len(vertices)
+    if n == 0:
+        return 0
+    if n > 20:
+        raise ValueError("brute force is limited to 20 vertices")
+    index = {v: i for i, v in enumerate(vertices)}
+    adj = [set(index[u] for u in graph.neighbors(v)) for v in vertices]
+
+    def eliminated_degree(v: int, eliminated_mask: int) -> int:
+        seen = {v}
+        frontier = [v]
+        boundary: set[int] = set()
+        while frontier:
+            x = frontier.pop()
+            for y in adj[x]:
+                if y in seen:
+                    continue
+                seen.add(y)
+                if (eliminated_mask >> y) & 1:
+                    frontier.append(y)
+                else:
+                    boundary.add(y)
+        return len(boundary)
+
+    best: dict[int, int] = {0: 0}
+    for mask in range(1, 1 << n):
+        value: int | None = None
+        for v in range(n):
+            if not (mask >> v) & 1:
+                continue
+            prev = mask & ~(1 << v)
+            candidate = max(best[prev], eliminated_degree(v, prev))
+            if value is None or candidate < value:
+                value = candidate
+        best[mask] = value if value is not None else 0
+    return best[(1 << n) - 1]

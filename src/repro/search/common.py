@@ -1,0 +1,129 @@
+"""Shared infrastructure for the branch-and-bound and A* searches.
+
+Search results carry the anytime semantics of the thesis' experiments: a
+search interrupted by its budget still reports the best upper bound found
+and the best proven lower bound (§5.3 — the f-values of visited states
+are nondecreasing, so the last visited f is a valid lower bound).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..hypergraph.graph import Graph, Vertex
+
+
+class BudgetExceeded(Exception):
+    """Internal signal: the node or time budget ran out."""
+
+
+@dataclass
+class SearchBudget:
+    """Limits for a search run.
+
+    Attributes:
+        max_nodes: maximum number of expanded / visited search states
+            (``None`` = unlimited).
+        max_seconds: wall-clock limit (``None`` = unlimited).
+    """
+
+    max_nodes: int | None = None
+    max_seconds: float | None = None
+
+    def start(self) -> "_BudgetClock":
+        return _BudgetClock(self)
+
+
+class _BudgetClock:
+    """Mutable per-run counter for a :class:`SearchBudget`."""
+
+    def __init__(self, budget: SearchBudget):
+        self._budget = budget
+        self._start = time.monotonic()
+        self.nodes = 0
+
+    def tick(self) -> None:
+        """Count one expanded node; raise :class:`BudgetExceeded` when the
+        budget runs out.  The time check is sampled every 64 nodes."""
+        self.nodes += 1
+        limit = self._budget.max_nodes
+        if limit is not None and self.nodes > limit:
+            raise BudgetExceeded
+        seconds = self._budget.max_seconds
+        if seconds is not None and self.nodes % 64 == 0:
+            if time.monotonic() - self._start > seconds:
+                raise BudgetExceeded
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping reported with every search result."""
+
+    nodes_expanded: int = 0
+    max_frontier: int = 0
+    elapsed_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a width search.
+
+    ``exact`` is True when ``lower_bound == upper_bound`` was proven — the
+    thesis' bold table entries.  ``ordering`` witnesses the upper bound
+    (first-eliminated-first); it is ``None`` only for empty inputs.
+    """
+
+    upper_bound: int
+    lower_bound: int
+    ordering: Sequence[Vertex] | None
+    exact: bool
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def width(self) -> int:
+        """The best known width (the upper bound's witness)."""
+        return self.upper_bound
+
+
+class GraphReplayer:
+    """Moves a single undo-stack graph between elimination states.
+
+    A* jumps between search states whose partial orderings share prefixes;
+    re-eliminating from scratch per expansion would dominate the runtime.
+    The replayer keeps the currently applied ordering and, given a target
+    ordering, restores back to the longest common prefix and eliminates
+    forward (thesis §5.2.1's "common postfix" optimization, adjusted to
+    our first-eliminated-first convention).
+    """
+
+    def __init__(self, graph: Graph):
+        self._graph = graph.copy()
+        self._applied: list[Vertex] = []
+
+    @property
+    def graph(self) -> Graph:
+        """The live graph, positioned at the last requested state."""
+        return self._graph
+
+    def move_to(self, ordering: Sequence[Vertex]) -> Graph:
+        """Reposition the graph to the state after eliminating
+        ``ordering`` (in order) from the original graph."""
+        common = 0
+        for mine, target in zip(self._applied, ordering):
+            if mine != target:
+                break
+            common += 1
+        while len(self._applied) > common:
+            self._graph.restore()
+            self._applied.pop()
+        for vertex in ordering[common:]:
+            self._graph.eliminate(vertex)
+            self._applied.append(vertex)
+        return self._graph

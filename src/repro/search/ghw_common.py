@@ -1,0 +1,110 @@
+"""Shared machinery for the generalized hypertree width searches
+(BB-ghw, Chapter 8; A*-ghw, Chapter 9).
+
+Both searches walk the elimination-ordering tree of the primal graph.
+The cost of a partial ordering is the largest *exact* set-cover size of
+any elimination bag produced so far (Definition 17's ``width(σ, H)``,
+which Chapter 3 proves reaches ``ghw(H)`` for some ordering).  Exact
+covers are provided by :mod:`repro.setcover.exact`; results are memoized
+per search because different orderings reproduce identical bags.
+
+The heuristic ``h`` of a node combines a treewidth lower bound of the
+remaining (filled) graph with the k-set-cover bound of §8.1: some future
+bag has at least ``mmw + 1`` vertices and hyperedges contribute at most
+``rank`` of them each.
+
+A PR 1 analogue closes subtrees: every future bag is a subset of the
+remaining vertex set R, and any cover of R covers all of its subsets, so
+``max(g, cover(R))`` bounds every completion — when ``cover(R) <= g``
+the node is a goal of width exactly ``g``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hypergraph.graph import Graph, Vertex
+from ..hypergraph.hypergraph import Hypergraph
+from ..bounds.lower import minor_min_width
+from ..setcover.exact import exact_set_cover
+from ..setcover.greedy import greedy_set_cover
+
+
+class GhwSearchContext:
+    """Bag-cover bookkeeping shared by the ghw searches."""
+
+    def __init__(self, hypergraph: Hypergraph):
+        self.hypergraph = hypergraph
+        self._exact_cache: dict[frozenset, int] = {}
+        self._greedy_cache: dict[frozenset, int] = {}
+        # Hyperedge sizes restricted to any subset are at most the rank.
+        self.rank = max(1, hypergraph.rank())
+
+    # -- covers ---------------------------------------------------------
+
+    def exact_cover_size(self, bag: frozenset) -> int:
+        size = self._exact_cache.get(bag)
+        if size is None:
+            size = len(exact_set_cover(bag, self.hypergraph))
+            self._exact_cache[bag] = size
+        return size
+
+    def greedy_cover_size(self, bag: frozenset) -> int:
+        size = self._greedy_cache.get(bag)
+        if size is None:
+            size = len(greedy_set_cover(bag, self.hypergraph))
+            self._greedy_cache[bag] = size
+        return size
+
+    # -- node values ----------------------------------------------------
+
+    def child_cost(self, graph: Graph, vertex: Vertex) -> int:
+        """Exact cover size of the bag produced by eliminating ``vertex``
+        from the current graph state (``{v} ∪ N(v)``)."""
+        bag = frozenset(graph.neighbors(vertex) | {vertex})
+        return self.exact_cover_size(bag)
+
+    def remaining_rank(self, remaining: frozenset) -> int:
+        """Largest hyperedge restriction to the remaining vertices."""
+        best = 1
+        for edge in self.hypergraph.edges.values():
+            cut = len(edge & remaining)
+            if cut > best:
+                best = cut
+        return best
+
+    def heuristic(self, graph: Graph) -> int:
+        """Admissible ghw lower bound for the remaining subproblem:
+        ``ceil((mmw(G) + 1) / rank)`` with the rank restricted to the
+        remaining vertices (tw-ksc-width, §8.1, applied node-wise)."""
+        if len(graph) == 0:
+            return 0
+        mmw = minor_min_width(graph)
+        remaining = frozenset(graph.vertex_list())
+        rank = self.remaining_rank(remaining)
+        return max(1, math.ceil((mmw + 1) / rank))
+
+    def completion_bound(self, graph: Graph) -> int:
+        """Upper bound on the largest cover any completion from this
+        graph state can require: a greedy cover of the whole remaining
+        vertex set covers every future bag."""
+        remaining = frozenset(graph.vertex_list())
+        if not remaining:
+            return 0
+        return self.greedy_cover_size(remaining)
+
+
+def initial_ghw_bounds(
+    hypergraph: Hypergraph, context: GhwSearchContext, ordering: list[Vertex]
+) -> int:
+    """Exact ``width(σ, H)`` of a heuristic ordering — the searches'
+    initial upper bound (achievable, hence sound)."""
+    from ..decomposition.elimination import elimination_bags
+
+    bags = elimination_bags(hypergraph, ordering)
+    width = 0
+    for bag in bags.values():
+        size = context.exact_cover_size(bag)
+        if size > width:
+            width = size
+    return width

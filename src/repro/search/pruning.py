@@ -1,0 +1,77 @@
+"""Pruning rules for elimination-ordering searches (thesis §4.4.5).
+
+* **PR 1** (Bachoore & Bodlaender): at a node with partial width ``g``
+  and ``n'`` remaining vertices, *any* completion has width at most
+  ``max(g, n' - 1)`` — so that value can update the incumbent upper
+  bound, and if ``n' - 1 <= g`` the subtree need not be searched at all
+  (the node is effectively a goal of width ``g``).
+
+* **PR 2** (swap equivalence): if ``v`` and ``w`` are eliminated
+  consecutively and either (a) they are non-adjacent in the current
+  graph, or (b) they are adjacent and each has a remaining neighbor that
+  is not a neighbor of the other, then swapping them changes neither the
+  resulting graph nor the width.  Only one of the two sibling branches
+  needs exploring.  Because the equivalence is at the level of the
+  produced *bags*, it is sound for generalized hypertree width too
+  (§8.3): the swapped orderings produce identical bag sets, hence
+  identical cover sizes.
+"""
+
+from __future__ import annotations
+
+from ..hypergraph.graph import Graph, Vertex
+
+
+def pr1_effective_width(partial_width: int, remaining: int) -> int:
+    """The PR 1 completion bound ``max(g, n' - 1)``."""
+    return max(partial_width, remaining - 1)
+
+
+def pr1_closes_subtree(partial_width: int, remaining: int) -> bool:
+    """True when PR 1 certifies the whole subtree: every completion has
+    width exactly ``g`` (``n' - 1 <= g``)."""
+    return remaining - 1 <= partial_width
+
+
+def swap_equivalent(graph: Graph, v: Vertex, w: Vertex) -> bool:
+    """PR 2 test on the graph state in which both ``v`` and ``w`` are
+    still present: may the consecutive eliminations ``v, w`` and ``w, v``
+    be exchanged without affecting width or the resulting graph?
+
+    * Non-adjacent ``v, w``: always exchangeable (their bags are N[v] and
+      N[w] either way, and the final graph is identical).
+    * Adjacent ``v, w``: exchangeable when v has a neighbor outside
+      N[w] and w has a neighbor outside N[v] (then the second bag —
+      N(v) ∪ N(w) minus the pair — is at least as large as both first
+      bags, making the width order-independent).
+    """
+    if not graph.has_edge(v, w):
+        return True
+    nv = graph.neighbors(v)
+    nw = graph.neighbors(w)
+    v_private = nv - nw - {w}
+    w_private = nw - nv - {v}
+    return bool(v_private) and bool(w_private)
+
+
+def pr2_allows_child(graph_before_last: Graph, last: Vertex, child: Vertex,
+                     precedes) -> bool:
+    """Decide whether branching ``..., last, child, ...`` must be explored.
+
+    ``graph_before_last`` is the graph state in which both ``last`` and
+    ``child`` were still present.  If the pair is swap-equivalent there,
+    the sibling branch ``..., child, last, ...`` covers this subtree, so
+    only the branch whose first element wins ``precedes`` is kept.
+
+    ``precedes(a, b)`` must be a strict total order over vertices (any
+    fixed tie-break works; we use repr order by default at call sites).
+    Returns True when this branch survives.
+    """
+    if not swap_equivalent(graph_before_last, last, child):
+        return True
+    return precedes(last, child)
+
+
+def default_precedes(a: Vertex, b: Vertex) -> bool:
+    """The default total order used to pick the surviving PR 2 branch."""
+    return (str(type(a)), repr(a)) < (str(type(b)), repr(b))

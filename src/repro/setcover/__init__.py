@@ -1,0 +1,24 @@
+"""Set cover routines: greedy (Fig. 7.2), exact branch-and-bound (the
+thesis' IP-solver replacement) and k-set-cover lower bounds (§8.1.1)."""
+
+from .exact import exact_set_cover, set_cover_size
+from .greedy import SetCoverError, greedy_set_cover
+from .ksc import (
+    UNCOVERABLE,
+    cover_lower_bound,
+    ksc_lower_bound,
+    ksc_overlap_lower_bound,
+    max_edge_size,
+)
+
+__all__ = [
+    "SetCoverError",
+    "UNCOVERABLE",
+    "cover_lower_bound",
+    "exact_set_cover",
+    "greedy_set_cover",
+    "ksc_lower_bound",
+    "ksc_overlap_lower_bound",
+    "max_edge_size",
+    "set_cover_size",
+]

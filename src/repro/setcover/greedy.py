@@ -1,0 +1,90 @@
+"""Greedy set cover (thesis Fig. 7.2, after Chvátal [11]).
+
+Given a bag of vertices and a hypergraph, pick hyperedges that cover the
+bag, repeatedly choosing the edge covering the most still-uncovered bag
+vertices.  The result is within a ln(n) factor of optimal and is the cover
+routine used inside GA-ghw's fitness and as the warm start of the exact
+solver.
+
+The implementation maintains per-candidate gain counters and decrements
+them as vertices become covered, so a full cover costs
+O(Σ_{v ∈ bag} #edges containing v) rather than rescanning every
+candidate per pick — this is the hot path of GA-ghw.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable
+
+from ..hypergraph.hypergraph import Hypergraph
+
+
+class SetCoverError(Exception):
+    """Raised when a bag cannot be covered by the hypergraph's edges."""
+
+
+def greedy_set_cover(
+    bag: Iterable,
+    hypergraph: Hypergraph,
+    rng: random.Random | None = None,
+) -> list[Hashable]:
+    """Cover ``bag`` greedily; returns a list of hyperedge names.
+
+    Ties between equally-covering edges are broken randomly when ``rng``
+    is given (as in the thesis) and deterministically (by name) otherwise,
+    which keeps fitness evaluations reproducible.
+    """
+    uncovered = set(bag)
+    if not uncovered:
+        return []
+    missing = [v for v in uncovered if v not in hypergraph]
+    if missing:
+        raise SetCoverError(
+            f"vertices {sorted(map(repr, missing))} occur in no hyperedge"
+        )
+    # Candidate edges restricted to the bag, plus gain counters and a
+    # vertex -> candidates reverse index for incremental updates.
+    cuts: dict[Hashable, set] = {}
+    holders: dict = {}
+    for vertex in uncovered:
+        names = hypergraph.edges_containing(vertex)
+        if not names:
+            raise SetCoverError(
+                f"vertices [{vertex!r}] occur in no hyperedge"
+            )
+        holders[vertex] = names
+        for name in names:
+            cuts.setdefault(name, set()).add(vertex)
+    gains = {name: len(cut) for name, cut in cuts.items()}
+
+    chosen: list[Hashable] = []
+    while uncovered:
+        best_gain = max(gains.values())
+        if rng is not None:
+            ties = [name for name, g in gains.items() if g == best_gain]
+            best = ties[rng.randrange(len(ties))] if len(ties) > 1 else ties[0]
+        else:
+            best = min(
+                (name for name, g in gains.items() if g == best_gain),
+                key=repr,
+            )
+        chosen.append(best)
+        covered_now = cuts[best] & uncovered
+        uncovered -= covered_now
+        for vertex in covered_now:
+            for name in holders[vertex]:
+                if name in gains:
+                    gains[name] -= 1
+        del gains[best]
+        # Drop exhausted candidates so max() stays cheap.
+        if not uncovered:
+            break
+        for name in [n for n, g in gains.items() if g <= 0]:
+            del gains[name]
+        if not gains:
+            raise SetCoverError(
+                f"vertices {sorted(map(repr, uncovered))} occur in no "
+                "hyperedge"
+            )
+    return chosen

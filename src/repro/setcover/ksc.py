@@ -1,0 +1,99 @@
+"""Lower bounds for the k-set cover problem (thesis §8.1.1).
+
+In a *k-set cover* instance every available set has at most ``k``
+elements; covering ``n`` elements therefore needs at least ``ceil(n / k)``
+sets.  Chapter 8 combines this with treewidth lower bounds: every tree
+decomposition of H has a bag with at least ``tw_lb + 1`` vertices, and
+covering that bag with hyperedges of size at most ``rank(H)`` needs at
+least ``ceil((tw_lb + 1) / rank(H))`` hyperedges — a lower bound on
+``ghw(H)`` (Algorithm *tw-ksc-width*, Fig. 8.1; realized in
+:mod:`repro.bounds.ghw_lower`).
+
+This module provides the k-set-cover side: the trivial cardinality bound
+and an overlap refinement.  If every pair of candidate sets shares at
+least ``t`` elements, then after the first set (≤ k elements) every
+further set contributes at most ``k - t`` new elements, so a cover of
+size ``c`` reaches at most ``k + (c-1)(k-t)`` elements — solving for
+``c`` strengthens the cardinality bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from ..hypergraph.hypergraph import Hypergraph
+
+UNCOVERABLE = 10**9
+"""Sentinel lower bound for bags containing vertices no hyperedge covers."""
+
+
+def ksc_lower_bound(num_elements: int, k: int) -> int:
+    """``ceil(num_elements / k)`` — the cardinality bound; 0 elements need
+    0 sets.  ``k`` must be positive."""
+    if k < 1:
+        raise ValueError("set size bound k must be positive")
+    if num_elements <= 0:
+        return 0
+    return math.ceil(num_elements / k)
+
+
+def ksc_overlap_lower_bound(num_elements: int, k: int, min_overlap: int) -> int:
+    """Overlap-aware refinement (sound when **every** pair of candidate
+    sets shares at least ``min_overlap`` elements).
+
+    A cover of size ``c`` reaches at most ``k + (c - 1) * (k - min_overlap)``
+    elements, since each set after the first adds at most ``k - min_overlap``
+    elements not already covered.
+    """
+    if k < 1:
+        raise ValueError("set size bound k must be positive")
+    if min_overlap < 0:
+        raise ValueError("min_overlap cannot be negative")
+    if num_elements <= 0:
+        return 0
+    if num_elements <= k:
+        return 1
+    effective = k - min_overlap
+    if effective <= 0:
+        # Sets are near-identical; a size-k set plus any number of others
+        # cannot pass k elements, so only the trivial bound applies.
+        return ksc_lower_bound(num_elements, k)
+    return 1 + math.ceil((num_elements - k) / effective)
+
+
+def cover_lower_bound(bag: Iterable, hypergraph: Hypergraph) -> int:
+    """Instance-aware lower bound on the size of any cover of ``bag``.
+
+    Restricts every hyperedge to the bag, takes ``k`` as the largest
+    restriction and the minimum pairwise intersection of restrictions as
+    the overlap.  Returns :data:`UNCOVERABLE` when a bag vertex occurs in
+    no hyperedge.
+    """
+    members = frozenset(bag)
+    if not members:
+        return 0
+    names: set = set()
+    for vertex in members:
+        if vertex in hypergraph:
+            names |= hypergraph.edges_containing(vertex)
+    edges = hypergraph.edges
+    restricted = [cut for cut in (edges[name] & members for name in names) if cut]
+    union: set = set()
+    for cut in restricted:
+        union |= cut
+    if union != members:
+        return UNCOVERABLE
+    k = max(len(cut) for cut in restricted)
+    base = ksc_lower_bound(len(members), k)
+    if len(restricted) < 2 or len(restricted) > 64:
+        return base  # single candidate, or too many for the O(m²) pass
+    min_overlap = min(
+        len(a & b) for i, a in enumerate(restricted) for b in restricted[i + 1:]
+    )
+    return max(base, ksc_overlap_lower_bound(len(members), k, min_overlap))
+
+
+def max_edge_size(hypergraph: Hypergraph) -> int:
+    """The rank of the hypergraph — the ``k`` of tw-ksc-width."""
+    return hypergraph.rank()

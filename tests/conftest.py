@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_gnm_graph,
+    random_hypergraph,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle():
+    return Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def small_graph():
+    """The thesis' Fig. 5.2 running example (6 vertices)."""
+    return Graph.from_edges(
+        [(1, 2), (1, 3), (2, 3), (2, 6), (3, 4), (4, 5), (5, 6), (3, 6)]
+    )
+
+
+@pytest.fixture
+def grid4():
+    return grid_graph(4)
+
+
+@pytest.fixture
+def path6():
+    return path_graph(6)
+
+
+@pytest.fixture
+def cycle5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def example_hypergraph():
+    """The thesis' example 5 constraint hypergraph (Figs. 2.6–2.9)."""
+    return Hypergraph(
+        edges={
+            "C1": {"x1", "x2", "x3"},
+            "C2": {"x1", "x5", "x6"},
+            "C3": {"x3", "x4", "x5"},
+        }
+    )
+
+
+@pytest.fixture
+def adder5():
+    return adder_hypergraph(5)
+
+
+def make_covered_hypergraph(num_vertices: int, num_edges: int, seed: int) -> Hypergraph:
+    """A random hypergraph with no isolated vertices (for ghw tests)."""
+    h = random_hypergraph(
+        num_vertices, num_edges, seed=seed, min_arity=1,
+        max_arity=min(3, num_vertices),
+    )
+    for v in sorted(h.isolated_vertices()):
+        h.add_edge({v, (v + 1) % num_vertices} if num_vertices > 1 else {v},
+                   name=f"iso{v}")
+    return h
+
+
+def random_graphs(count: int, max_n: int = 9, seed: int = 0):
+    """A deterministic batch of random graphs for oracle comparisons."""
+    rng = random.Random(seed)
+    out = []
+    for trial in range(count):
+        n = rng.randint(2, max_n)
+        m = rng.randint(0, n * (n - 1) // 2)
+        out.append(random_gnm_graph(n, m, seed=seed * 1000 + trial))
+    return out

@@ -1,0 +1,187 @@
+"""Tests for the downstream DP applications (MWIS, colouring counts)."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    brute_force_color_count,
+    brute_force_dominating_set,
+    brute_force_mwis,
+    count_colorings,
+    is_k_colorable,
+    max_weight_independent_set,
+    min_weight_dominating_set,
+)
+from repro.decomposition import bucket_elimination
+from repro.bounds import min_fill_ordering
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    myciel_graph,
+    path_graph,
+    random_gnm_graph,
+    star_graph,
+)
+
+
+class TestMWIS:
+    def test_empty_graph(self):
+        assert max_weight_independent_set(Graph()) == (0, set())
+
+    def test_single_vertex(self):
+        value, solution = max_weight_independent_set(Graph(vertices=[7]))
+        assert value == 1 and solution == {7}
+
+    def test_path(self):
+        value, solution = max_weight_independent_set(path_graph(5))
+        assert value == 3
+        assert solution == {0, 2, 4}
+
+    def test_cycle(self):
+        value, _ = max_weight_independent_set(cycle_graph(7))
+        assert value == 3
+
+    def test_complete(self):
+        value, solution = max_weight_independent_set(complete_graph(6))
+        assert value == 1 and len(solution) == 1
+
+    def test_star_weights(self):
+        g = star_graph(4)
+        heavy_center = {0: 100, 1: 1, 2: 1, 3: 1, 4: 1}
+        value, solution = max_weight_independent_set(g, heavy_center)
+        assert value == 100 and solution == {0}
+
+    def test_grid(self):
+        value, _ = max_weight_independent_set(grid_graph(4))
+        assert value == 8  # checkerboard
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 10)
+        m = rng.randint(0, n * (n - 1) // 2)
+        g = random_gnm_graph(n, m, seed=seed + 9500)
+        weights = {v: rng.randint(1, 5) for v in g.vertex_list()}
+        value, solution = max_weight_independent_set(g, weights)
+        assert value == brute_force_mwis(g, weights)
+        assert all(
+            not g.has_edge(u, v)
+            for u in solution for v in solution if u != v
+        )
+        assert sum(weights[v] for v in solution) == value
+
+    def test_with_custom_decomposition(self):
+        g = cycle_graph(6)
+        td = bucket_elimination(g, min_fill_ordering(g))
+        value, _ = max_weight_independent_set(g, td=td)
+        assert value == 3
+
+
+class TestDominatingSet:
+    def test_empty(self):
+        assert min_weight_dominating_set(Graph()) == (0, set())
+
+    def test_single_vertex(self):
+        value, solution = min_weight_dominating_set(Graph(vertices=[5]))
+        assert value == 1 and solution == {5}
+
+    def test_isolated_vertices_forced_in(self):
+        g = Graph.from_edges([(1, 2)])
+        g.add_vertex(9)
+        value, solution = min_weight_dominating_set(g)
+        assert 9 in solution
+        assert value == 2
+
+    def test_star_center(self):
+        value, solution = min_weight_dominating_set(star_graph(6))
+        assert value == 1 and solution == {0}
+
+    def test_path_formula(self):
+        # γ(P_n) = ceil(n/3)
+        for n in (3, 4, 6, 7, 9):
+            value, _ = min_weight_dominating_set(path_graph(n))
+            assert value == -(-n // 3), n
+
+    def test_cycle_formula(self):
+        # γ(C_n) = ceil(n/3)
+        for n in (3, 5, 6, 9):
+            value, _ = min_weight_dominating_set(cycle_graph(n))
+            assert value == -(-n // 3), n
+
+    def test_weights_change_the_answer(self):
+        g = star_graph(3)
+        heavy_center = {0: 10, 1: 1, 2: 1, 3: 1}
+        value, solution = min_weight_dominating_set(g, heavy_center)
+        # taking all leaves (cost 3) beats the heavy center (cost 10)
+        assert value == 3 and solution == {1, 2, 3}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 9)
+        m = rng.randint(0, n * (n - 1) // 2)
+        g = random_gnm_graph(n, m, seed=seed + 9700)
+        weights = {v: rng.randint(1, 4) for v in g.vertex_list()}
+        value, solution = min_weight_dominating_set(g, weights)
+        assert value == brute_force_dominating_set(g, weights)
+        for v in g.vertex_list():
+            assert v in solution or (g.neighbors(v) & solution)
+
+    def test_solution_cost_matches_value(self):
+        g = grid_graph(3)
+        value, solution = min_weight_dominating_set(g)
+        assert len(solution) == value == 3
+
+
+class TestColoringCounts:
+    def test_empty_graph(self):
+        assert count_colorings(Graph(), 3) == 1
+
+    def test_zero_colors(self):
+        assert count_colorings(path_graph(2), 0) == 0
+
+    def test_single_vertex(self):
+        assert count_colorings(Graph(vertices=[1]), 4) == 4
+
+    def test_path_formula(self):
+        # P_n has k * (k-1)^(n-1) proper colourings
+        for n in (2, 3, 5):
+            for k in (2, 3):
+                assert count_colorings(path_graph(n), k) == \
+                    k * (k - 1) ** (n - 1)
+
+    def test_cycle_formula(self):
+        # C_n has (k-1)^n + (-1)^n (k-1) proper colourings
+        for n in (3, 4, 5, 6):
+            for k in (2, 3, 4):
+                expected = (k - 1) ** n + (-1) ** n * (k - 1)
+                assert count_colorings(cycle_graph(n), k) == expected
+
+    def test_complete_graph(self):
+        # K_n: k * (k-1) * ... * (k-n+1)
+        assert count_colorings(complete_graph(3), 3) == 6
+        assert count_colorings(complete_graph(4), 3) == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 7)
+        m = rng.randint(0, n * (n - 1) // 2)
+        g = random_gnm_graph(n, m, seed=seed + 9600)
+        for k in (2, 3):
+            assert count_colorings(g, k) == brute_force_color_count(g, k)
+
+    def test_negative_colors_rejected(self):
+        with pytest.raises(ValueError):
+            count_colorings(path_graph(2), -1)
+
+    def test_k_colorability_decisions(self):
+        assert is_k_colorable(cycle_graph(5), 3)
+        assert not is_k_colorable(cycle_graph(5), 2)
+        # the Grötzsch graph is triangle-free but 4-chromatic
+        grotzsch = myciel_graph(3)
+        assert is_k_colorable(grotzsch, 4)
+        assert not is_k_colorable(grotzsch, 3)

@@ -1,0 +1,120 @@
+"""Tests for Bayesian networks, moral graphs and GA-bn (thesis §4.5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.csp import (
+    BayesianNetwork,
+    BayesianNetworkError,
+    junction_tree_weight,
+    random_bayesian_network,
+    triangulation_weight,
+)
+from repro.genetic import GAParameters, ga_triangulation
+
+
+def sprinkler_network():
+    return BayesianNetwork(
+        parents={
+            "rain": [],
+            "sprinkler": ["rain"],
+            "wet": ["rain", "sprinkler"],
+            "slippery": ["wet"],
+        },
+        states={"rain": 2, "sprinkler": 2, "wet": 2, "slippery": 2},
+    )
+
+
+class TestBayesianNetwork:
+    def test_moral_graph_marries_parents(self):
+        bn = sprinkler_network()
+        moral = bn.moral_graph()
+        assert moral.has_edge("rain", "sprinkler")  # married
+        assert moral.has_edge("wet", "slippery")
+        assert not moral.has_edge("rain", "slippery")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(BayesianNetworkError):
+            BayesianNetwork(parents={"a": ["b"], "b": ["a"]})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(BayesianNetworkError):
+            BayesianNetwork(parents={"a": ["ghost"]})
+
+    def test_bad_state_counts_rejected(self):
+        with pytest.raises(BayesianNetworkError):
+            BayesianNetwork(parents={"a": []}, states={"a": 0})
+        with pytest.raises(BayesianNetworkError):
+            BayesianNetwork(parents={"a": []}, states={"ghost": 2})
+
+    def test_default_binary_states(self):
+        bn = BayesianNetwork(parents={"a": [], "b": ["a"]})
+        assert bn.states == {"a": 2, "b": 2}
+
+    def test_random_network_is_dag(self):
+        for seed in range(5):
+            bn = random_bayesian_network(12, max_parents=3, seed=seed)
+            assert len(bn.nodes) == 12
+            for node, parents in bn.parents.items():
+                assert all(p < node for p in parents)  # topological
+
+
+class TestWeights:
+    def test_triangulation_weight_formula(self):
+        bags = [frozenset({"a", "b"}), frozenset({"b", "c"})]
+        states = {"a": 2, "b": 3, "c": 4}
+        assert triangulation_weight(bags, states) == math.log2(6 + 12)
+
+    def test_empty(self):
+        assert triangulation_weight([], {}) == 0.0
+
+    def test_junction_tree_weight(self):
+        bn = sprinkler_network()
+        ordering = ["slippery", "sprinkler", "rain", "wet"]
+        weight = junction_tree_weight(bn, ordering)
+        assert weight > 0
+
+    def test_weight_depends_on_ordering(self):
+        bn = random_bayesian_network(10, max_parents=3, seed=1)
+        nodes = bn.nodes
+        a = junction_tree_weight(bn, nodes)
+        b = junction_tree_weight(bn, list(reversed(nodes)))
+        # not necessarily different, but both finite positive
+        assert a > 0 and b > 0
+
+
+class TestGATriangulation:
+    def test_improves_over_random(self):
+        bn = random_bayesian_network(14, max_parents=3, seed=3)
+        rng = random.Random(0)
+        random_ordering = bn.nodes
+        rng.shuffle(random_ordering)
+        baseline = junction_tree_weight(bn, random_ordering)
+        result = ga_triangulation(
+            bn, GAParameters(population_size=20, generations=25),
+            rng=random.Random(1),
+        )
+        assert result.best_fitness <= baseline
+
+    def test_result_is_achievable(self):
+        bn = random_bayesian_network(10, max_parents=2, seed=5)
+        result = ga_triangulation(
+            bn, GAParameters(population_size=12, generations=10),
+            rng=random.Random(2),
+        )
+        recomputed = junction_tree_weight(bn, result.best_individual)
+        assert math.isclose(recomputed, result.best_fitness)
+
+    def test_optimal_on_chain(self):
+        # A chain network: perfect ordering keeps bags of size 2.
+        bn = BayesianNetwork(
+            parents={i: ([i - 1] if i else []) for i in range(8)},
+        )
+        result = ga_triangulation(
+            bn, GAParameters(population_size=16, generations=20),
+            rng=random.Random(3),
+        )
+        # 7 bags of 4 states + 1 bag of 2: log2(30); allow exact match.
+        assert result.best_fitness <= math.log2(7 * 4 + 2) + 1e-9

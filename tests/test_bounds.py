@@ -1,0 +1,154 @@
+"""Tests for the upper- and lower-bound heuristics."""
+
+import random
+
+import pytest
+
+from repro.bounds import (
+    best_heuristic_ordering,
+    clique_cover_lower_bound,
+    degeneracy_lower_bound,
+    gamma_r,
+    ghw_lower_bound,
+    min_degree_ordering,
+    min_fill_ordering,
+    min_width_ordering,
+    minor_gamma_r,
+    minor_min_width,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+    tw_ksc_width,
+)
+from repro.decomposition import ordering_width
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    clique_hypergraph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    queen_graph,
+    random_gnm_graph,
+)
+from repro.search import brute_force_treewidth
+
+
+class TestUpperBoundOrderings:
+    @pytest.mark.parametrize(
+        "heuristic",
+        [min_fill_ordering, min_degree_ordering, min_width_ordering],
+    )
+    def test_orderings_are_permutations(self, heuristic, grid4):
+        ordering = heuristic(grid4)
+        assert sorted(map(repr, ordering)) == sorted(
+            map(repr, grid4.vertex_list())
+        )
+
+    def test_min_fill_optimal_on_trees(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)])
+        assert ordering_width(g, min_fill_ordering(g)) == 1
+
+    def test_min_fill_optimal_on_cycles(self, cycle5):
+        assert ordering_width(cycle5, min_fill_ordering(cycle5)) == 2
+
+    def test_min_fill_on_grid(self, grid4):
+        width = ordering_width(grid4, min_fill_ordering(grid4))
+        assert 4 <= width <= 6
+
+    def test_hypergraph_input(self, adder5):
+        ordering = min_fill_ordering(adder5)
+        assert set(ordering) == set(adder5.vertex_list())
+
+    def test_best_heuristic_ordering(self, grid4):
+        ordering, width = best_heuristic_ordering(grid4)
+        assert ordering_width(grid4, ordering) == width
+        assert width >= 4  # treewidth of grid4
+
+    def test_upper_bound_at_least_treewidth(self):
+        for seed in range(5):
+            g = random_gnm_graph(9, 16, seed=seed)
+            assert treewidth_upper_bound(g) >= brute_force_treewidth(g)
+
+    def test_rng_variants_still_valid(self, grid4):
+        rng = random.Random(5)
+        ordering = min_fill_ordering(grid4, rng)
+        assert set(ordering) == set(grid4.vertex_list())
+
+
+class TestTreewidthLowerBounds:
+    @pytest.mark.parametrize(
+        "bound",
+        [degeneracy_lower_bound, minor_min_width, minor_gamma_r],
+    )
+    def test_sound_on_random_graphs(self, bound):
+        for seed in range(8):
+            g = random_gnm_graph(9, 14, seed=seed + 20)
+            assert bound(g) <= brute_force_treewidth(g)
+
+    def test_known_values_complete(self):
+        g = complete_graph(6)
+        assert minor_min_width(g) == 5
+        assert degeneracy_lower_bound(g) == 5
+        assert gamma_r(g) == 5
+
+    def test_known_values_cycle(self, cycle5):
+        assert degeneracy_lower_bound(cycle5) == 2
+        assert minor_min_width(cycle5) == 2
+
+    def test_known_values_path(self, path6):
+        assert degeneracy_lower_bound(path6) == 1
+        assert minor_min_width(path6) == 1
+
+    def test_grid_bounds(self):
+        g = grid_graph(4)
+        lb = treewidth_lower_bound(g)
+        assert 2 <= lb <= 4
+
+    def test_gamma_r_star(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        # min over non-adjacent pairs of max degree: leaves have degree 1
+        assert gamma_r(g) == 1
+
+    def test_minor_gamma_r_at_least_gamma_r(self):
+        for seed in range(5):
+            g = random_gnm_graph(10, 20, seed=seed + 40)
+            assert minor_gamma_r(g) >= gamma_r(g)
+
+    def test_queen5_bounds_bracket_18(self):
+        g = queen_graph(5)
+        lb = treewidth_lower_bound(g)
+        ub = treewidth_upper_bound(g)
+        assert lb <= 18 <= ub
+
+    def test_empty_graph(self):
+        assert minor_min_width(Graph()) == 0
+        assert degeneracy_lower_bound(Graph()) == 0
+
+    def test_hypergraph_via_primal(self, adder5):
+        assert minor_min_width(adder5) >= 1
+
+
+class TestGhwLowerBounds:
+    def test_tw_ksc_on_cliques(self):
+        # clique_n: tw = n-1, rank 2 -> lb = ceil(n/2) = ghw exactly.
+        for n in (4, 6, 8):
+            h = clique_hypergraph(n)
+            assert tw_ksc_width(h) == n // 2
+
+    def test_sound_on_adders(self):
+        # ghw(adder) = 2; lower bound must not exceed it.
+        h = adder_hypergraph(10)
+        assert 1 <= ghw_lower_bound(h) <= 2
+
+    def test_edgeless(self):
+        assert tw_ksc_width(Hypergraph(vertices=[1, 2])) == 0
+        assert ghw_lower_bound(Hypergraph()) == 0
+
+    def test_clique_cover_refinement_sound(self):
+        for n in (4, 6):
+            h = clique_hypergraph(n)
+            assert clique_cover_lower_bound(h) <= n // 2
+
+    def test_at_least_one_with_edges(self, example_hypergraph):
+        assert ghw_lower_bound(example_hypergraph) >= 1

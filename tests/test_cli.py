@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, load_structure, main
+from repro.hypergraph import Graph, Hypergraph
+
+
+class TestLoadStructure:
+    def test_registered_instance(self):
+        structure = load_structure("myciel3")
+        assert isinstance(structure, Graph)
+        assert structure.num_vertices == 11
+
+    def test_registered_hypergraph(self):
+        structure = load_structure("adder_5")
+        assert isinstance(structure, Hypergraph)
+
+    def test_dimacs_file(self, tmp_path):
+        path = tmp_path / "toy.col"
+        path.write_text("p edge 3 2\ne 1 2\ne 2 3\n")
+        structure = load_structure(str(path))
+        assert isinstance(structure, Graph)
+        assert structure.num_edges == 2
+
+    def test_hypergraph_file(self, tmp_path):
+        path = tmp_path / "toy.hg"
+        path.write_text("c1(a,b,c),\nc2(c,d),\n")
+        structure = load_structure(str(path))
+        assert isinstance(structure, Hypergraph)
+        assert structure.num_edges == 2
+
+    def test_unknown_instance_exits(self):
+        with pytest.raises(SystemExit):
+            load_structure("definitely-not-an-instance")
+
+
+class TestCommands:
+    def test_tw_exact(self, capsys):
+        assert main(["tw", "myciel3", "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth = 5" in out
+
+    def test_tw_ga(self, capsys):
+        assert main(["tw", "myciel3", "--ga", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth <=" in out
+
+    def test_ghw_exact(self, capsys):
+        assert main(["ghw", "adder_5", "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "ghw = 2" in out
+
+    def test_ghw_on_graph_instance(self, capsys):
+        # graphs are lifted to hypergraphs with binary edges
+        assert main(["ghw", "myciel3", "--budget", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ghw" in out
+
+    def test_ghw_ga(self, capsys):
+        assert main(["ghw", "adder_5", "--ga", "--budget", "5"]) == 0
+        assert "ghw <=" in capsys.readouterr().out
+
+    def test_hw(self, capsys):
+        assert main(["hw", "adder_5"]) == 0
+        assert "hypertree width = 2" in capsys.readouterr().out
+
+    def test_hw_on_graph(self, capsys):
+        assert main(["hw", "myciel3"]) == 0
+        assert "hypertree width" in capsys.readouterr().out
+
+    def test_decompose(self, capsys, tmp_path):
+        output = tmp_path / "out.td"
+        assert main(["decompose", "myciel3", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "width" in out
+        text = output.read_text()
+        assert text.startswith("s td ")
+        assert "b 1 " in text
+
+    def test_instances_listing(self, capsys):
+        assert main(["instances"]) == 0
+        out = capsys.readouterr().out
+        assert "queen5_5" in out
+        assert "adder_75" in out
+
+    def test_instances_kind_filter(self, capsys):
+        assert main(["instances", "--kind", "hypergraph"]) == 0
+        out = capsys.readouterr().out
+        assert "adder_75" in out
+        assert "queen5_5" not in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_file_roundtrip(self, capsys, tmp_path):
+        from repro.hypergraph import write_dimacs
+        from repro.hypergraph.generators import cycle_graph
+
+        path = tmp_path / "cycle.col"
+        path.write_text(write_dimacs(cycle_graph(6)))
+        assert main(["tw", str(path), "--budget", "10"]) == 0
+        assert "treewidth = 2" in capsys.readouterr().out

@@ -1,0 +1,198 @@
+"""Tests for the CSP core, join trees, Acyclic Solving and the builders."""
+
+import pytest
+
+from repro.csp import (
+    CSP,
+    Constraint,
+    CSPError,
+    Relation,
+    acyclic_solving,
+    australia_map_coloring,
+    build_join_tree,
+    graph_coloring_csp,
+    n_queens_csp,
+    not_equal_relation,
+    random_binary_csp,
+    sat_csp,
+    solve_acyclic_csp,
+    thesis_example_5,
+)
+from repro.hypergraph.generators import cycle_graph, path_graph
+
+
+class TestCSPCore:
+    def test_constraint_hypergraph(self):
+        csp = thesis_example_5()
+        h = csp.constraint_hypergraph()
+        assert h.num_vertices == 6
+        assert h.num_edges == 3
+        assert h.edge("C1") == frozenset({"x1", "x2", "x3"})
+
+    def test_is_solution(self):
+        csp = thesis_example_5()
+        solution = {"x1": "a", "x2": "b", "x3": "c",
+                    "x4": "b", "x5": "c", "x6": "b"}
+        assert csp.is_solution(solution)
+        assert not csp.is_solution({**solution, "x2": "c"})
+        assert not csp.is_solution(None)
+        assert not csp.is_solution({"x1": "a"})  # incomplete
+
+    def test_domain_membership_checked(self):
+        csp = thesis_example_5()
+        bad = {"x1": "z", "x2": "b", "x3": "c",
+               "x4": "b", "x5": "c", "x6": "b"}
+        assert not csp.is_solution(bad)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(CSPError):
+            CSP(domains={"x": []}, constraints=[])
+
+    def test_unknown_scope_variable_rejected(self):
+        with pytest.raises(CSPError):
+            CSP(
+                domains={"x": [1]},
+                constraints=[
+                    Constraint("c", Relation(("x", "y"), [(1, 1)]))
+                ],
+            )
+
+    def test_duplicate_constraint_names_rejected(self):
+        rel = Relation(("x",), [(1,)])
+        with pytest.raises(CSPError):
+            CSP(
+                domains={"x": [1]},
+                constraints=[Constraint("c", rel), Constraint("c", rel)],
+            )
+
+    def test_backtracking_satisfiable(self):
+        csp = australia_map_coloring()
+        solution = csp.solve_backtracking()
+        assert csp.is_solution(solution)
+
+    def test_backtracking_unsatisfiable(self):
+        csp = graph_coloring_csp(cycle_graph(3), 2)  # odd cycle, 2 colors
+        assert csp.solve_backtracking() is None
+
+    def test_all_solutions(self):
+        csp = graph_coloring_csp(path_graph(3), 2)
+        solutions = csp.all_solutions()
+        assert len(solutions) == 2  # alternating colorings
+        assert all(csp.is_solution(s) for s in solutions)
+
+    def test_constraint_lookup(self):
+        csp = thesis_example_5()
+        assert csp.constraint("C2").scope == ("x1", "x5", "x6")
+        with pytest.raises(CSPError):
+            csp.constraint("nope")
+
+
+class TestJoinTrees:
+    def test_acyclic_csp_has_join_tree(self):
+        # A path of constraints is (alpha-)acyclic.
+        rel = not_equal_relation("a", "b", (0, 1))
+        csp = CSP(
+            domains={v: (0, 1) for v in "abcd"},
+            constraints=[
+                Constraint("c1", rel),
+                Constraint("c2", not_equal_relation("b", "c", (0, 1))),
+                Constraint("c3", not_equal_relation("c", "d", (0, 1))),
+            ],
+        )
+        tree = build_join_tree(csp)
+        assert tree is not None
+        assert tree.satisfies_connectedness()
+
+    def test_cyclic_csp_has_no_join_tree(self):
+        csp = graph_coloring_csp(cycle_graph(3), 3)
+        assert build_join_tree(csp) is None
+
+    def test_acyclic_solving_finds_solution(self):
+        csp = graph_coloring_csp(path_graph(5), 2)
+        solution = solve_acyclic_csp(csp)
+        assert csp.is_solution(solution)
+
+    def test_acyclic_solving_detects_unsat(self):
+        # path with 2 colors but a unary constraint forcing a clash
+        rel = not_equal_relation("a", "b", (0,))  # empty relation
+        csp = CSP(
+            domains={"a": (0,), "b": (0,)},
+            constraints=[Constraint("c", rel)],
+        )
+        assert solve_acyclic_csp(csp) is None
+
+    def test_cyclic_raises(self):
+        csp = graph_coloring_csp(cycle_graph(4), 3)
+        with pytest.raises(CSPError):
+            solve_acyclic_csp(csp)
+
+    def test_agreement_with_backtracking(self):
+        # star-shaped (acyclic) random CSPs
+        for seed in range(8):
+            csp = random_binary_csp(5, 3, density=0.0, tightness=0.0,
+                                    seed=seed)
+            # build an explicitly acyclic chain instead
+            constraints = [
+                Constraint(
+                    f"c{i}", not_equal_relation(f"v{i}", f"v{i+1}", (0, 1, 2))
+                )
+                for i in range(4)
+            ]
+            chain = CSP(
+                domains={f"v{i}": (0, 1, 2) for i in range(5)},
+                constraints=constraints,
+            )
+            got = solve_acyclic_csp(chain)
+            want = chain.solve_backtracking()
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert chain.is_solution(got)
+
+
+class TestBuilders:
+    def test_australia(self):
+        csp = australia_map_coloring()
+        assert len(csp.variables) == 7
+        assert len(csp.constraints) == 9
+        known = {"WA": "r", "NT": "g", "SA": "b", "Q": "r",
+                 "NSW": "g", "V": "r", "TAS": "g"}
+        assert csp.is_solution(known)
+
+    def test_sat_satisfiable(self):
+        csp = sat_csp([[-1, 2, 3], [1, -4], [-3, -5]])
+        known = {"x1": True, "x2": True, "x3": False,
+                 "x4": True, "x5": False}
+        assert csp.is_solution(known)
+
+    def test_sat_unsatisfiable(self):
+        csp = sat_csp([[1], [-1]])
+        assert csp.solve_backtracking() is None
+
+    def test_n_queens_counts(self):
+        csp = n_queens_csp(4)
+        assert len(csp.variables) == 4
+        assert len(csp.constraints) == 6
+        solution = csp.solve_backtracking()
+        assert csp.is_solution(solution)
+
+    def test_n_queens_3_unsolvable(self):
+        assert n_queens_csp(3).solve_backtracking() is None
+
+    def test_random_binary_reproducible(self):
+        a = random_binary_csp(6, 3, 0.5, 0.3, seed=1)
+        b = random_binary_csp(6, 3, 0.5, 0.3, seed=1)
+        assert len(a.constraints) == len(b.constraints)
+        for ca, cb in zip(a.constraints, b.constraints):
+            assert ca.relation == cb.relation
+
+    def test_random_binary_validation(self):
+        with pytest.raises(ValueError):
+            random_binary_csp(5, 3, density=2.0, tightness=0.1, seed=0)
+        with pytest.raises(ValueError):
+            random_binary_csp(5, 3, density=0.5, tightness=1.0, seed=0)
+
+    def test_thesis_example_5_solutions(self):
+        csp = thesis_example_5()
+        solutions = csp.all_solutions()
+        assert solutions  # satisfiable
+        assert all(s["x1"] == "a" for s in solutions)  # forced by C2

@@ -1,0 +1,139 @@
+"""Tests for solving CSPs from tree decompositions and GHDs
+(thesis §2.4, Figs. 2.8–2.9)."""
+
+import pytest
+
+from repro.bounds import min_fill_ordering
+from repro.csp import (
+    CSPError,
+    australia_map_coloring,
+    graph_coloring_csp,
+    n_queens_csp,
+    random_binary_csp,
+    sat_csp,
+    solve,
+    solve_from_ghd,
+    solve_from_tree_decomposition,
+    thesis_example_5,
+)
+from repro.decomposition import (
+    TreeDecomposition,
+    bucket_elimination,
+    ghd_from_ordering,
+)
+from repro.hypergraph.generators import cycle_graph, grid_graph, path_graph
+from repro.setcover import exact_set_cover
+
+
+def decompositions_of(csp):
+    h = csp.constraint_hypergraph()
+    for v in sorted(h.isolated_vertices(), key=repr):
+        h.remove_vertex(v)
+    ordering = min_fill_ordering(h)
+    td = bucket_elimination(h, ordering)
+    ghd = ghd_from_ordering(h, ordering, cover_function=exact_set_cover)
+    return td, ghd
+
+
+class TestSolveFromTD:
+    def test_example_5(self):
+        csp = thesis_example_5()
+        td, _ = decompositions_of(csp)
+        solution = solve_from_tree_decomposition(csp, td)
+        assert csp.is_solution(solution)
+
+    def test_australia(self):
+        csp = australia_map_coloring()
+        td, _ = decompositions_of(csp)
+        solution = solve_from_tree_decomposition(csp, td)
+        assert csp.is_solution(solution)
+
+    def test_unsat_detected(self):
+        csp = graph_coloring_csp(cycle_graph(5), 2)  # odd cycle, 2 colors
+        td, _ = decompositions_of(csp)
+        assert solve_from_tree_decomposition(csp, td) is None
+
+    def test_invalid_decomposition_rejected(self):
+        csp = thesis_example_5()
+        bogus = TreeDecomposition()
+        bogus.add_node("n", {"x1"})
+        with pytest.raises(CSPError):
+            solve_from_tree_decomposition(csp, bogus)
+
+
+class TestSolveFromGHD:
+    def test_example_5(self):
+        csp = thesis_example_5()
+        _, ghd = decompositions_of(csp)
+        solution = solve_from_ghd(csp, ghd)
+        assert csp.is_solution(solution)
+
+    def test_australia(self):
+        csp = australia_map_coloring()
+        _, ghd = decompositions_of(csp)
+        solution = solve_from_ghd(csp, ghd)
+        assert csp.is_solution(solution)
+
+    def test_unsat_detected(self):
+        csp = graph_coloring_csp(cycle_graph(5), 2)
+        _, ghd = decompositions_of(csp)
+        assert solve_from_ghd(csp, ghd) is None
+
+    def test_width_two_example_matches_fig_2_7(self):
+        csp = thesis_example_5()
+        _, ghd = decompositions_of(csp)
+        assert ghd.ghw_width == 2
+
+
+class TestSolveFacade:
+    @pytest.mark.parametrize("method", ["backtracking", "td", "ghd"])
+    def test_solves_satisfiable(self, method):
+        csp = graph_coloring_csp(grid_graph(3), 3)
+        solution = solve(csp, method)
+        assert csp.is_solution(solution)
+
+    @pytest.mark.parametrize("method", ["backtracking", "td", "ghd"])
+    def test_detects_unsatisfiable(self, method):
+        csp = graph_coloring_csp(cycle_graph(7), 2)
+        assert solve(csp, method) is None
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve(thesis_example_5(), "magic")
+
+    def test_unconstrained_variables_assigned(self):
+        csp = australia_map_coloring()  # TAS has no constraints
+        solution = solve(csp, "ghd")
+        assert "TAS" in solution
+
+    def test_no_constraints_at_all(self):
+        from repro.csp import CSP
+
+        csp = CSP(domains={"a": (1, 2), "b": (3,)}, constraints=[])
+        solution = solve(csp, "ghd")
+        assert csp.is_solution(solution)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_methods_agree_on_random_csps(self, seed):
+        csp = random_binary_csp(7, 3, density=0.45, tightness=0.45,
+                                seed=seed + 30)
+        if not csp.constraints:
+            return
+        bt = solve(csp, "backtracking")
+        td = solve(csp, "td")
+        ghd = solve(csp, "ghd")
+        assert (bt is None) == (td is None) == (ghd is None)
+        if bt is not None:
+            assert csp.is_solution(td)
+            assert csp.is_solution(ghd)
+
+    def test_n_queens_all_methods(self):
+        csp = n_queens_csp(5)
+        for method in ("td", "ghd"):
+            assert csp.is_solution(solve(csp, method))
+
+    def test_sat_all_methods(self):
+        csp = sat_csp([[1, 2], [-1, 3], [-2, -3], [2, 3]])
+        expected = csp.solve_backtracking() is not None
+        for method in ("td", "ghd"):
+            assert (solve(csp, method) is not None) == expected

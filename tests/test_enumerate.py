@@ -1,0 +1,166 @@
+"""Tests for solution counting and enumeration (Yannakakis full
+reducer)."""
+
+import pytest
+
+from repro.csp import (
+    CSP,
+    Constraint,
+    Relation,
+    australia_map_coloring,
+    build_join_tree,
+    count_csp_solutions,
+    count_solutions,
+    enumerate_solutions,
+    full_reduce,
+    graph_coloring_csp,
+    not_equal_relation,
+    random_binary_csp,
+    sat_csp,
+    thesis_example_5,
+)
+from repro.hypergraph.generators import cycle_graph, grid_graph, path_graph
+
+
+def chain_csp(n: int, colors: int = 2) -> CSP:
+    domain = tuple(range(colors))
+    constraints = [
+        Constraint(f"c{i}", not_equal_relation(f"v{i}", f"v{i+1}", domain))
+        for i in range(n - 1)
+    ]
+    return CSP(
+        domains={f"v{i}": domain for i in range(n)},
+        constraints=constraints,
+    )
+
+
+class TestFullReduce:
+    def test_consistent_instance(self):
+        csp = chain_csp(4, 3)
+        tree = build_join_tree(csp)
+        reduced = full_reduce(tree)
+        assert reduced is not None
+        # every surviving tuple participates in a solution: globally
+        # consistent means non-empty everywhere
+        assert all(not r.is_empty for r in reduced.relations.values())
+
+    def test_inconsistent_instance_detected(self):
+        empty = Relation(("a", "b"), [])
+        csp = CSP(
+            domains={"a": (0,), "b": (0,)},
+            constraints=[Constraint("c", empty)],
+        )
+        tree = build_join_tree(csp)
+        assert full_reduce(tree) is None
+
+    def test_input_tree_not_mutated(self):
+        csp = chain_csp(3, 2)
+        tree = build_join_tree(csp)
+        before = {n: r for n, r in tree.relations.items()}
+        full_reduce(tree)
+        assert tree.relations == before
+
+
+class TestEnumeration:
+    def test_chain_solutions(self):
+        csp = chain_csp(3, 2)
+        tree = build_join_tree(csp)
+        solutions = list(enumerate_solutions(tree))
+        assert len(solutions) == 2  # alternating 2-colorings
+        for solution in solutions:
+            assert csp.is_solution(solution)
+
+    def test_matches_brute_force(self):
+        csp = chain_csp(5, 3)
+        tree = build_join_tree(csp)
+        enumerated = {
+            tuple(sorted(s.items())) for s in enumerate_solutions(tree)
+        }
+        brute = {
+            tuple(sorted(s.items())) for s in csp.all_solutions()
+        }
+        assert enumerated == brute
+
+    def test_unsat_enumerates_nothing(self):
+        empty = Relation(("a", "b"), [])
+        csp = CSP(
+            domains={"a": (0,), "b": (0,)},
+            constraints=[Constraint("c", empty)],
+        )
+        tree = build_join_tree(csp)
+        assert list(enumerate_solutions(tree)) == []
+
+    def test_no_duplicates(self):
+        csp = chain_csp(4, 3)
+        tree = build_join_tree(csp)
+        solutions = [
+            tuple(sorted(s.items())) for s in enumerate_solutions(tree)
+        ]
+        assert len(solutions) == len(set(solutions))
+
+
+class TestCounting:
+    def test_chain_count_formula(self):
+        # path colorings: k * (k-1)^(n-1)
+        for n, k in ((3, 2), (4, 3), (6, 2)):
+            csp = chain_csp(n, k)
+            tree = build_join_tree(csp)
+            assert count_solutions(tree) == k * (k - 1) ** (n - 1)
+
+    def test_count_matches_enumeration(self):
+        csp = chain_csp(5, 3)
+        tree = build_join_tree(csp)
+        assert count_solutions(tree) == len(list(enumerate_solutions(tree)))
+
+    def test_unsat_counts_zero(self):
+        empty = Relation(("a", "b"), [])
+        csp = CSP(
+            domains={"a": (0,), "b": (0,)},
+            constraints=[Constraint("c", empty)],
+        )
+        tree = build_join_tree(csp)
+        assert count_solutions(tree) == 0
+
+
+class TestCountCspSolutions:
+    """End-to-end counting through decompositions (cyclic CSPs too)."""
+
+    def test_cycle_coloring_formula(self):
+        # C_n with k colors: (k-1)^n + (-1)^n (k-1)
+        for n, k in ((4, 3), (5, 3), (6, 2)):
+            csp = graph_coloring_csp(cycle_graph(n), k)
+            expected = (k - 1) ** n + (-1) ** n * (k - 1)
+            assert count_csp_solutions(csp) == expected
+
+    def test_matches_brute_force_on_random(self):
+        for seed in range(8):
+            csp = random_binary_csp(6, 3, density=0.4, tightness=0.4,
+                                    seed=seed + 60)
+            assert count_csp_solutions(csp) == len(csp.all_solutions()), seed
+
+    def test_australia_has_many_colorings(self):
+        csp = australia_map_coloring()
+        count = count_csp_solutions(csp)
+        assert count == len(csp.all_solutions())
+        assert count % 3 == 0  # color symmetry (and TAS contributes x3)
+
+    def test_example_5(self):
+        csp = thesis_example_5()
+        assert count_csp_solutions(csp) == len(csp.all_solutions())
+
+    def test_sat_model_counting(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3]]
+        csp = sat_csp(clauses)
+        assert count_csp_solutions(csp) == len(csp.all_solutions())
+
+    def test_unconstrained_variables_multiply(self):
+        csp = CSP(
+            domains={"a": (0, 1), "b": (0, 1, 2)},
+            constraints=[],
+        )
+        assert count_csp_solutions(csp) == 6
+
+    def test_grid_coloring(self):
+        csp = graph_coloring_csp(grid_graph(3), 2)
+        # 3x3 grid is bipartite: exactly 2 proper 2-colorings
+        assert count_csp_solutions(csp) == 2

@@ -1,0 +1,194 @@
+"""Unit tests for the instance generators."""
+
+import pytest
+
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    bridge_hypergraph,
+    clique_hypergraph,
+    complete_graph,
+    cycle_graph,
+    grid2d_hypergraph,
+    grid3d_hypergraph,
+    grid_graph,
+    myciel_graph,
+    mycielski,
+    path_graph,
+    queen_graph,
+    random_circuit_hypergraph,
+    random_geometric_graph,
+    random_gnm_graph,
+    random_gnp_graph,
+    random_hypergraph,
+    random_interval_graph,
+    random_partitioned_graph,
+    sat_hypergraph,
+    star_graph,
+)
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.num_vertices, g.num_edges) == (5, 4)
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert all(g.degree(v) == 2 for v in g)
+        assert g.num_edges == 6
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # verticals + horizontals
+
+    def test_square_grid_edges(self):
+        for n in (2, 3, 5):
+            g = grid_graph(n)
+            assert g.num_edges == 2 * n * (n - 1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            grid_graph(0)
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+
+class TestQueenAndMyciel:
+    def test_queen5_counts(self):
+        g = queen_graph(5)
+        # DIMACS queen5_5 lists 320 directed edges = 160 simple ones.
+        assert (g.num_vertices, g.num_edges) == (25, 160)
+
+    def test_queen_adjacency_rules(self):
+        g = queen_graph(4)
+        assert g.has_edge((0, 0), (0, 3))  # row
+        assert g.has_edge((0, 0), (3, 0))  # column
+        assert g.has_edge((0, 0), (3, 3))  # diagonal
+        assert not g.has_edge((0, 1), (1, 3))  # knight move
+
+    def test_mycielski_growth(self):
+        g = complete_graph(2)
+        m = mycielski(g)
+        assert m.num_vertices == 2 * g.num_vertices + 1
+        assert m.num_edges == 3 * g.num_edges + g.num_vertices
+
+    def test_myciel_dimacs_counts(self):
+        expected = {3: (11, 20), 4: (23, 71), 5: (47, 236), 6: (95, 755)}
+        for k, (v, e) in expected.items():
+            g = myciel_graph(k)
+            assert (g.num_vertices, g.num_edges) == (v, e), k
+
+    def test_myciel_triangle_free_small(self):
+        g = myciel_graph(3)  # Grötzsch graph is triangle-free
+        vertices = g.vertex_list()
+        for i, a in enumerate(vertices):
+            for b in vertices[i + 1:]:
+                if g.has_edge(a, b):
+                    assert not (g.neighbors(a) & g.neighbors(b))
+
+
+class TestRandomFamilies:
+    def test_gnm_exact_counts(self):
+        g = random_gnm_graph(30, 100, seed=7)
+        assert (g.num_vertices, g.num_edges) == (30, 100)
+
+    def test_gnm_deterministic(self):
+        a = random_gnm_graph(20, 50, seed=3)
+        b = random_gnm_graph(20, 50, seed=3)
+        assert a == b
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_gnm_graph(4, 7, seed=0)
+
+    def test_gnp_bounds(self):
+        g = random_gnp_graph(25, 0.3, seed=1)
+        assert g.num_vertices == 25
+        with pytest.raises(ValueError):
+            random_gnp_graph(5, 1.5, seed=0)
+
+    def test_geometric_exact_counts(self):
+        g = random_geometric_graph(40, 120, seed=5)
+        assert (g.num_vertices, g.num_edges) == (40, 120)
+
+    def test_partitioned_no_intra_part_edges(self):
+        g = random_partitioned_graph(30, 60, parts=5, seed=9)
+        assert g.num_edges == 60
+        for u, v in g.edges():
+            assert u % 5 != v % 5
+
+    def test_interval_counts(self):
+        g = random_interval_graph(60, 150, seed=11)
+        assert (g.num_vertices, g.num_edges) == (60, 150)
+
+
+class TestHypergraphFamilies:
+    def test_clique_hypergraph(self):
+        h = clique_hypergraph(20)
+        assert (h.num_vertices, h.num_edges) == (20, 190)
+        assert h.rank() == 2
+
+    def test_grid2d_counts(self):
+        h = grid2d_hypergraph(20)
+        assert (h.num_vertices, h.num_edges) == (200, 200)
+        assert h.rank() <= 4
+
+    def test_grid3d_counts(self):
+        h = grid3d_hypergraph(8)
+        assert (h.num_vertices, h.num_edges) == (256, 256)
+        assert h.rank() <= 6
+
+    def test_adder_counts(self):
+        for n in (5, 75, 99):
+            h = adder_hypergraph(n)
+            assert (h.num_vertices, h.num_edges) == (5 * n + 1, 7 * n + 1), n
+            assert not h.isolated_vertices()
+
+    def test_bridge_counts(self):
+        for n in (5, 50):
+            h = bridge_hypergraph(n)
+            assert (h.num_vertices, h.num_edges) == (9 * n + 2, 9 * n + 2), n
+            assert not h.isolated_vertices()
+
+    def test_adder_connected_primal(self):
+        primal = adder_hypergraph(10).primal_graph()
+        assert len(primal.connected_components()) == 1
+
+    def test_bridge_connected_primal(self):
+        primal = bridge_hypergraph(10).primal_graph()
+        assert len(primal.connected_components()) == 1
+
+    def test_circuit_standins_match_counts(self):
+        h = random_circuit_hypergraph(48, 50, seed=2)
+        assert h.num_vertices == 48
+        assert h.num_edges >= 50  # stray-vertex edges may add a few
+        assert not h.isolated_vertices()
+
+    def test_random_hypergraph(self):
+        h = random_hypergraph(10, 15, seed=1, min_arity=2, max_arity=4)
+        assert h.num_edges == 15
+        assert all(2 <= len(e) <= 4 for e in h.edges.values())
+
+    def test_sat_hypergraph(self):
+        h = sat_hypergraph([[-1, 2, 3], [1, -4], [-3, -5]])
+        assert h.num_edges == 3
+        assert h.edge("cl0") == frozenset({1, 2, 3})
+
+    def test_sat_hypergraph_empty_clause(self):
+        with pytest.raises(ValueError):
+            sat_hypergraph([[1], []])

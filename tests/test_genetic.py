@@ -1,0 +1,331 @@
+"""Tests for tournament selection, the GA engine, GA-tw, GA-ghw and
+SAIGA-ghw."""
+
+import random
+
+import pytest
+
+from repro.decomposition import ordering_width
+from repro.genetic import (
+    GAParameters,
+    SAIGAParameters,
+    ga_ghw,
+    ga_treewidth,
+    ghw_fitness,
+    run_permutation_ga,
+    saiga_ghw,
+    tournament_select_index,
+    tournament_selection,
+)
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    clique_hypergraph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    queen_graph,
+)
+from repro.search import astar_treewidth, branch_and_bound_ghw
+
+
+class TestTournament:
+    def test_selects_best_with_large_group(self, rng):
+        fitnesses = [5.0, 1.0, 3.0]
+        winner = tournament_select_index(fitnesses, group_size=50, rng=rng)
+        assert winner == 1
+
+    def test_selection_size(self, rng):
+        population = [[0, 1], [1, 0]]
+        selected = tournament_selection(population, [1.0, 2.0], 2, rng)
+        assert len(selected) == 2
+        selected = tournament_selection(population, [1.0, 2.0], 2, rng, count=5)
+        assert len(selected) == 5
+
+    def test_selection_copies(self, rng):
+        population = [[0, 1, 2]]
+        selected = tournament_selection(population, [1.0], 1, rng)
+        selected[0][0] = 99
+        assert population[0][0] == 0
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select_index([], 2, rng)
+
+    def test_bad_group_size(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select_index([1.0], 0, rng)
+
+    def test_pressure_increases_with_group_size(self):
+        rng = random.Random(0)
+        fitnesses = list(range(100))
+        small = [tournament_select_index(fitnesses, 2, rng) for _ in range(300)]
+        big = [tournament_select_index(fitnesses, 8, rng) for _ in range(300)]
+        assert sum(big) < sum(small)
+
+
+class TestEngine:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GAParameters(population_size=1).validate()
+        with pytest.raises(ValueError):
+            GAParameters(crossover_rate=1.5).validate()
+        with pytest.raises(ValueError):
+            GAParameters(mutation_rate=-0.1).validate()
+        with pytest.raises(ValueError):
+            GAParameters(crossover="NOPE").validate()
+        with pytest.raises(ValueError):
+            GAParameters(mutation="NOPE").validate()
+        GAParameters().validate()
+
+    def test_minimizes_simple_objective(self):
+        """Sorting as a permutation GA problem: fitness counts inversions."""
+        def inversions(perm):
+            return sum(
+                1
+                for i in range(len(perm))
+                for j in range(i + 1, len(perm))
+                if perm[i] > perm[j]
+            )
+
+        result = run_permutation_ga(
+            elements=list(range(8)),
+            fitness=inversions,
+            parameters=GAParameters(population_size=40, generations=60),
+            rng=random.Random(7),
+        )
+        assert result.best_fitness <= 2  # near-sorted
+
+    def test_history_monotone(self):
+        result = run_permutation_ga(
+            elements=list(range(6)),
+            fitness=lambda p: p.index(0),
+            parameters=GAParameters(population_size=10, generations=15),
+            rng=random.Random(1),
+        )
+        assert all(
+            a >= b for a, b in zip(result.history, result.history[1:])
+        )
+
+    def test_seed_individuals(self):
+        seed_perm = list(range(6))
+        result = run_permutation_ga(
+            elements=list(range(6)),
+            fitness=lambda p: sum(
+                1 for i, v in enumerate(p) if v != i
+            ),
+            parameters=GAParameters(population_size=8, generations=0),
+            rng=random.Random(2),
+            seed_individuals=[seed_perm],
+        )
+        assert result.best_fitness == 0
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            run_permutation_ga(
+                elements=[1, 2, 3],
+                fitness=len,
+                parameters=GAParameters(population_size=4, generations=1),
+                rng=random.Random(0),
+                seed_individuals=[[1, 2]],
+            )
+
+    def test_time_budget_stops_early(self):
+        result = run_permutation_ga(
+            elements=list(range(30)),
+            fitness=lambda p: 0,
+            parameters=GAParameters(population_size=20, generations=10**6),
+            rng=random.Random(0),
+            max_seconds=0.2,
+        )
+        assert result.generations_run < 10**6
+
+    def test_reproducible(self):
+        def fit(p):
+            return p.index(3)
+
+        a = run_permutation_ga(
+            list(range(8)), fit,
+            GAParameters(population_size=10, generations=10),
+            random.Random(5),
+        )
+        b = run_permutation_ga(
+            list(range(8)), fit,
+            GAParameters(population_size=10, generations=10),
+            random.Random(5),
+        )
+        assert a.best_individual == b.best_individual
+        assert a.history == b.history
+
+
+class TestGATreewidth:
+    def test_finds_optimum_on_easy_graphs(self):
+        for graph, optimum in [
+            (path_graph(10), 1),
+            (cycle_graph(8), 2),
+            (grid_graph(3), 3),
+        ]:
+            result = ga_treewidth(
+                graph,
+                GAParameters(population_size=30, generations=40),
+                rng=random.Random(3),
+            )
+            assert result.best_fitness == optimum
+
+    def test_queen5_reaches_18(self):
+        result = ga_treewidth(
+            queen_graph(5),
+            GAParameters(population_size=40, generations=50),
+            rng=random.Random(1),
+        )
+        assert result.best_fitness == 18
+
+    def test_result_is_achievable_width(self, grid4):
+        result = ga_treewidth(
+            grid4, GAParameters(population_size=20, generations=20),
+            rng=random.Random(2),
+        )
+        assert ordering_width(grid4, result.best_individual) == \
+            result.best_fitness
+
+    def test_upper_bound_of_true_treewidth(self, grid4):
+        result = ga_treewidth(
+            grid4, GAParameters(population_size=10, generations=5),
+            rng=random.Random(4),
+        )
+        assert result.best_fitness >= astar_treewidth(grid4).width
+
+    def test_empty_graph(self):
+        from repro.hypergraph import Graph
+
+        result = ga_treewidth(Graph())
+        assert result.best_fitness == 0
+
+    def test_heuristic_seeding(self, grid4):
+        result = ga_treewidth(
+            grid4, GAParameters(population_size=10, generations=0),
+            rng=random.Random(0), seed_with_heuristics=True,
+        )
+        assert result.best_fitness <= 6  # min-fill quality at generation 0
+
+
+class TestGAGhw:
+    def test_fitness_matches_manual(self, example_hypergraph):
+        ordering = example_hypergraph.vertex_list()
+        width = ghw_fitness(example_hypergraph, ordering)
+        assert width >= 2
+
+    def test_finds_optimum_on_example(self, example_hypergraph):
+        result = ga_ghw(
+            example_hypergraph,
+            GAParameters(population_size=20, generations=20),
+            rng=random.Random(1),
+        )
+        assert result.best_fitness == 2
+
+    def test_adder_small(self):
+        result = ga_ghw(
+            adder_hypergraph(8),
+            GAParameters(population_size=30, generations=40),
+            rng=random.Random(2),
+        )
+        assert result.best_fitness <= 3  # ghw = 2; greedy may cost one
+
+    def test_upper_bound_of_true_ghw(self):
+        h = clique_hypergraph(8)
+        result = ga_ghw(
+            h, GAParameters(population_size=16, generations=10),
+            rng=random.Random(3),
+        )
+        assert result.best_fitness >= branch_and_bound_ghw(h).width
+
+    def test_isolated_vertices_rejected(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        with pytest.raises(ValueError):
+            ga_ghw(h)
+
+    def test_heuristic_seeding_matches_min_fill(self):
+        """Seeded GA-ghw starts at the min-fill baseline (extension)."""
+        from repro.bounds import min_fill_ordering
+        from repro.decomposition import ghw_ordering_width
+
+        h = adder_hypergraph(15)
+        baseline = ghw_ordering_width(h, min_fill_ordering(h))
+        result = ga_ghw(
+            h, GAParameters(population_size=8, generations=0),
+            rng=random.Random(0), seed_with_heuristics=True,
+            rescore_exact=False,
+        )
+        assert result.best_fitness <= baseline
+
+    def test_rescore_exact_not_larger(self):
+        h = clique_hypergraph(10)
+        greedy = ga_ghw(
+            h, GAParameters(population_size=12, generations=8),
+            rng=random.Random(4), rescore_exact=False,
+        )
+        exact = ga_ghw(
+            h, GAParameters(population_size=12, generations=8),
+            rng=random.Random(4), rescore_exact=True,
+        )
+        assert exact.best_fitness <= greedy.best_fitness
+
+
+class TestSAIGA:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SAIGAParameters(num_islands=1).validate()
+        with pytest.raises(ValueError):
+            SAIGAParameters(island_population=1).validate()
+        SAIGAParameters().validate()
+
+    def test_finds_optimum_on_example(self, example_hypergraph):
+        result = saiga_ghw(
+            example_hypergraph,
+            SAIGAParameters(num_islands=3, island_population=10, epochs=5),
+            rng=random.Random(1),
+        )
+        assert result.best_fitness == 2
+
+    def test_parameters_stay_in_range(self):
+        from repro.genetic import PARAMETER_RANGES
+
+        result = saiga_ghw(
+            clique_hypergraph(8),
+            SAIGAParameters(num_islands=4, island_population=8, epochs=6),
+            rng=random.Random(2),
+        )
+        for vector in result.final_parameters:
+            lo, hi = PARAMETER_RANGES["crossover_rate"]
+            assert lo <= vector.crossover_rate <= hi
+            lo, hi = PARAMETER_RANGES["mutation_rate"]
+            assert lo <= vector.mutation_rate <= hi
+            lo, hi = PARAMETER_RANGES["tournament_size"]
+            assert lo <= vector.tournament_size <= hi
+
+    def test_competitive_with_plain_ga(self):
+        """SAIGA's promise: roughly match tuned GA without tuning."""
+        h = adder_hypergraph(8)
+        plain = ga_ghw(
+            h, GAParameters(population_size=32, generations=24),
+            rng=random.Random(5),
+        )
+        adaptive = saiga_ghw(
+            h,
+            SAIGAParameters(num_islands=4, island_population=8, epochs=6),
+            rng=random.Random(5),
+        )
+        assert adaptive.best_fitness <= plain.best_fitness + 1
+
+    def test_isolated_vertices_rejected(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        with pytest.raises(ValueError):
+            saiga_ghw(h)
+
+    def test_reports_evaluations(self):
+        result = saiga_ghw(
+            clique_hypergraph(6),
+            SAIGAParameters(num_islands=2, island_population=6, epochs=3),
+            rng=random.Random(0),
+        )
+        assert result.evaluations >= 2 * 6 * 3

@@ -1,0 +1,228 @@
+"""Unit tests for repro.hypergraph.graph.Graph."""
+
+import pytest
+
+from repro.hypergraph import Graph, GraphError
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(2, 1)
+
+    def test_complete(self):
+        g = Graph.complete(range(5))
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g)
+
+    def test_duplicate_edges_are_idempotent(self):
+        g = Graph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_vertices_without_edges(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.degree(2) == 0
+
+    def test_arbitrary_hashable_vertices(self):
+        g = Graph.from_edges([("a", (1, 2)), ((1, 2), frozenset([3]))])
+        assert g.has_edge("a", (1, 2))
+        assert g.degree((1, 2)) == 2
+
+
+class TestQueries:
+    def test_neighbors_are_copies(self, triangle):
+        nbrs = triangle.neighbors(1)
+        nbrs.add(99)
+        assert 99 not in triangle.neighbors(1)
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(42)
+        with pytest.raises(GraphError):
+            triangle.degree(42)
+
+    def test_edges_iterates_each_once(self, grid4):
+        edges = list(grid4.edges())
+        assert len(edges) == grid4.num_edges
+        normalized = {frozenset(e) for e in edges}
+        assert len(normalized) == len(edges)
+
+    def test_len_and_contains(self, triangle):
+        assert len(triangle) == 3
+        assert 1 in triangle
+        assert 9 not in triangle
+
+    def test_vertex_list_insertion_order(self):
+        g = Graph(vertices=[5, 3, 9])
+        assert g.vertex_list() == [5, 3, 9]
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(1, 2)
+        assert not triangle.has_edge(1, 2)
+        assert triangle.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_edge(1, 99)
+
+    def test_remove_vertex(self, small_graph):
+        before = small_graph.num_edges
+        degree = small_graph.degree(3)
+        small_graph.remove_vertex(3)
+        assert 3 not in small_graph
+        assert small_graph.num_edges == before - degree
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(1, 4)
+        assert 4 not in triangle
+
+    def test_subgraph(self, small_graph):
+        sub = small_graph.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # the triangle 1-2-3
+
+    def test_subgraph_unknown_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.subgraph([1, 99])
+
+
+class TestElimination:
+    def test_eliminate_creates_clique(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        record = g.eliminate(0)
+        assert record.neighbors == frozenset({1, 2, 3})
+        assert len(record.fill_edges) == 3
+        assert g.is_clique([1, 2, 3])
+        assert 0 not in g
+
+    def test_eliminate_simplicial_adds_no_fill(self, triangle):
+        record = triangle.eliminate(1)
+        assert record.fill_edges == ()
+
+    def test_restore_roundtrip(self, small_graph):
+        reference = small_graph.copy()
+        order = [3, 6, 1, 2]
+        for v in order:
+            small_graph.eliminate(v)
+        for _ in order:
+            small_graph.restore()
+        assert small_graph == reference
+        assert small_graph.num_edges == reference.num_edges
+
+    def test_restore_empty_stack_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.restore()
+
+    def test_elimination_depth(self, small_graph):
+        assert small_graph.elimination_depth == 0
+        small_graph.eliminate(1)
+        small_graph.eliminate(2)
+        assert small_graph.elimination_depth == 2
+        small_graph.restore()
+        assert small_graph.elimination_depth == 1
+
+    def test_fill_in_count_matches_eliminate(self, small_graph):
+        for v in list(small_graph.vertex_list()):
+            predicted = small_graph.fill_in_count(v)
+            record = small_graph.eliminate(v)
+            assert len(record.fill_edges) == predicted
+            small_graph.restore()
+
+    def test_interleaved_eliminate_restore(self, grid4):
+        reference = grid4.copy()
+        grid4.eliminate((0, 0))
+        grid4.eliminate((1, 1))
+        grid4.restore()
+        grid4.eliminate((3, 3))
+        grid4.restore()
+        grid4.restore()
+        assert grid4 == reference
+
+
+class TestContraction:
+    def test_contract_edge_merges_neighborhoods(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (1, 4)])
+        g.contract_edge(1, 2)
+        assert 2 not in g
+        assert g.has_edge(1, 3)
+        assert g.has_edge(1, 4)
+
+    def test_contract_non_edge_raises(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        with pytest.raises(GraphError):
+            g.contract_edge(1, 3)
+
+    def test_contract_no_self_loop(self, triangle):
+        triangle.contract_edge(1, 2)
+        assert not triangle.has_edge(1, 1) if 1 in triangle else True
+        assert triangle.num_vertices == 2
+        assert triangle.has_edge(1, 3)
+
+
+class TestPredicates:
+    def test_is_clique(self, triangle):
+        assert triangle.is_clique([1, 2, 3])
+        assert triangle.is_clique([1, 2])
+        assert triangle.is_clique([])
+
+    def test_is_simplicial(self, small_graph):
+        # vertex 1 has neighbors {2, 3} which are adjacent
+        assert small_graph.is_simplicial(1)
+        # vertex 3 has neighbors {1, 2, 4, 6}; 4-6 not adjacent
+        assert not small_graph.is_simplicial(3)
+
+    def test_almost_simplicial_witness(self):
+        # star center: neighbors pairwise non-adjacent -> not almost simpl.
+        star = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert star.almost_simplicial_witness(0) is None
+        # one missing edge in the neighborhood -> witness exists
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        witness = g.almost_simplicial_witness(0)
+        assert witness == 3
+
+    def test_connected_components(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        g.add_vertex(5)
+        comps = sorted(g.connected_components(), key=lambda c: min(c))
+        assert comps == [{1, 2}, {3, 4}, {5}]
+
+    def test_min_degree_vertex(self, small_graph):
+        v = small_graph.min_degree_vertex()
+        d = small_graph.degree(v)
+        assert all(small_graph.degree(u) >= d for u in small_graph)
+
+    def test_min_degree_empty_raises(self):
+        with pytest.raises(GraphError):
+            Graph().min_degree_vertex()
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges([(1, 2), (2, 3)])
+        b = Graph.from_edges([(2, 3), (1, 2)])
+        assert a == b
+
+    def test_unequal_graphs(self):
+        a = Graph.from_edges([(1, 2)])
+        b = Graph.from_edges([(1, 3)])
+        assert a != b
+
+    def test_not_equal_to_other_types(self, triangle):
+        assert triangle != "graph"

@@ -1,0 +1,130 @@
+"""Unit tests for repro.hypergraph.hypergraph.Hypergraph."""
+
+import pytest
+
+from repro.hypergraph import Graph, Hypergraph, HypergraphError
+
+
+class TestConstruction:
+    def test_from_edges_autonames(self):
+        h = Hypergraph.from_edges([{1, 2}, {2, 3, 4}])
+        assert h.edge_names() == ["e0", "e1"]
+        assert h.num_vertices == 4
+
+    def test_named_edges(self, example_hypergraph):
+        assert example_hypergraph.edge("C1") == frozenset({"x1", "x2", "x3"})
+        assert example_hypergraph.num_edges == 3
+
+    def test_duplicate_name_rejected(self):
+        h = Hypergraph()
+        h.add_edge({1, 2}, name="a")
+        with pytest.raises(HypergraphError):
+            h.add_edge({3, 4}, name="a")
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph().add_edge([])
+
+    def test_from_graph(self, triangle):
+        h = Hypergraph.from_graph(triangle)
+        assert h.num_edges == 3
+        assert all(len(e) == 2 for e in h.edges.values())
+
+    def test_copy_independent(self, example_hypergraph):
+        clone = example_hypergraph.copy()
+        clone.add_edge({"x9"}, name="extra")
+        assert "extra" not in example_hypergraph.edges
+
+
+class TestQueries:
+    def test_edges_containing(self, example_hypergraph):
+        assert example_hypergraph.edges_containing("x1") == {"C1", "C2"}
+        assert example_hypergraph.edges_containing("x4") == {"C3"}
+
+    def test_edges_containing_unknown(self, example_hypergraph):
+        with pytest.raises(HypergraphError):
+            example_hypergraph.edges_containing("nope")
+
+    def test_rank(self, example_hypergraph):
+        assert example_hypergraph.rank() == 3
+        assert Hypergraph().rank() == 0
+
+    def test_isolated_vertices(self):
+        h = Hypergraph(vertices=[1, 2, 3], edges={"a": {1, 2}})
+        assert h.isolated_vertices() == {3}
+
+    def test_len_iter_contains(self, example_hypergraph):
+        assert len(example_hypergraph) == 6
+        assert "x3" in example_hypergraph
+        assert set(example_hypergraph) == {
+            "x1", "x2", "x3", "x4", "x5", "x6"
+        }
+
+
+class TestMutation:
+    def test_remove_edge(self, example_hypergraph):
+        example_hypergraph.remove_edge("C2")
+        assert example_hypergraph.num_edges == 2
+        assert "C2" not in example_hypergraph.edges_containing("x1")
+
+    def test_remove_unknown_edge(self, example_hypergraph):
+        with pytest.raises(HypergraphError):
+            example_hypergraph.remove_edge("zzz")
+
+    def test_remove_vertex_shrinks_edges(self, example_hypergraph):
+        example_hypergraph.remove_vertex("x1")
+        assert example_hypergraph.edge("C1") == frozenset({"x2", "x3"})
+        assert "x1" not in example_hypergraph
+
+    def test_remove_vertex_drops_empty_edges(self):
+        h = Hypergraph(edges={"solo": {1}})
+        h.remove_vertex(1)
+        assert h.num_edges == 0
+
+    def test_remove_unknown_vertex(self, example_hypergraph):
+        with pytest.raises(HypergraphError):
+            example_hypergraph.remove_vertex("nope")
+
+
+class TestDerivedGraphs:
+    def test_primal_graph(self, example_hypergraph):
+        primal = example_hypergraph.primal_graph()
+        assert isinstance(primal, Graph)
+        # x1-x2, x1-x3, x2-x3 from C1; x1-x5, x1-x6, x5-x6 from C2; ...
+        assert primal.has_edge("x1", "x2")
+        assert primal.has_edge("x5", "x6")
+        assert primal.has_edge("x3", "x4")
+        assert not primal.has_edge("x2", "x4")
+        assert primal.num_edges == 9
+
+    def test_primal_of_graph_hypergraph_is_same_graph(self, grid4):
+        h = Hypergraph.from_graph(grid4)
+        assert h.primal_graph() == grid4
+
+    def test_dual_graph(self, example_hypergraph):
+        dual = example_hypergraph.dual_graph()
+        assert set(dual.vertex_list()) == {"C1", "C2", "C3"}
+        # all three constraints pairwise share a variable
+        assert dual.num_edges == 3
+
+    def test_induced_hypergraph(self, example_hypergraph):
+        sub = example_hypergraph.induced_hypergraph({"x1", "x2", "x3", "x4"})
+        assert sub.edge("C1") == frozenset({"x1", "x2", "x3"})
+        assert sub.edge("C3") == frozenset({"x3", "x4"})
+        assert sub.edge("C2") == frozenset({"x1"})
+
+    def test_induced_drops_empty(self, example_hypergraph):
+        sub = example_hypergraph.induced_hypergraph({"x4"})
+        assert sub.edge_names() == ["C3"]
+
+
+class TestEquality:
+    def test_equality(self):
+        a = Hypergraph(edges={"e": {1, 2}})
+        b = Hypergraph(edges={"e": {2, 1}})
+        assert a == b
+
+    def test_inequality_different_names(self):
+        a = Hypergraph(edges={"e": {1, 2}})
+        b = Hypergraph(edges={"f": {1, 2}})
+        assert a != b

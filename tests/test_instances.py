@@ -1,0 +1,159 @@
+"""Tests for the benchmark instance registry."""
+
+import pytest
+
+from repro.hypergraph import Graph, Hypergraph
+from repro.instances import (
+    UnknownInstanceError,
+    get_instance,
+    instance_names,
+    list_instances,
+)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(UnknownInstanceError):
+            get_instance("not-a-real-instance")
+
+    def test_kinds_partition(self):
+        graphs = list_instances("graph")
+        hypergraphs = list_instances("hypergraph")
+        assert graphs and hypergraphs
+        assert len(list_instances()) == len(graphs) + len(hypergraphs)
+
+    def test_names_unique(self):
+        names = instance_names()
+        assert len(names) == len(set(names))
+
+    def test_provenance_filter(self):
+        exact = list_instances(provenance="exact")
+        synthetic = list_instances(provenance="synthetic")
+        assert exact and synthetic
+        assert len(exact) + len(synthetic) == len(list_instances())
+
+
+class TestExactConstructions:
+    @pytest.mark.parametrize(
+        "name", ["queen5_5", "queen6_6", "myciel3", "myciel4", "myciel5",
+                 "grid2", "grid4", "grid6"],
+    )
+    def test_graph_vertex_counts_match(self, name):
+        instance = get_instance(name)
+        graph = instance.build()
+        assert isinstance(graph, Graph)
+        assert graph.num_vertices == instance.reported_vertices
+
+    def test_myciel_edges_exact(self):
+        for name in ("myciel3", "myciel4", "myciel5"):
+            instance = get_instance(name)
+            assert instance.build().num_edges == instance.reported_edges
+
+    def test_queen_edges_are_half_of_reported(self):
+        instance = get_instance("queen5_5")
+        # DIMACS queen files double-list edges (noted on the instance).
+        assert instance.build().num_edges * 2 == instance.reported_edges
+        assert "doubled" in instance.notes
+        assert instance.provenance == "exact"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["adder_75", "adder_99", "bridge_50", "clique_20", "grid2d_20",
+         "grid3d_8"],
+    )
+    def test_hypergraph_counts_match(self, name):
+        instance = get_instance(name)
+        h = instance.build()
+        assert isinstance(h, Hypergraph)
+        assert h.num_vertices == instance.reported_vertices
+        assert h.num_edges == instance.reported_edges
+        assert instance.provenance == "exact"
+
+
+class TestSyntheticStandins:
+    @pytest.mark.parametrize(
+        "name",
+        ["DSJC125.1", "fpsol2.i.3", "le450_5a", "school1"],
+    )
+    def test_counts_match_table(self, name):
+        instance = get_instance(name)
+        graph = instance.build()
+        assert graph.num_vertices == instance.reported_vertices
+        assert graph.num_edges == instance.reported_edges
+        assert instance.provenance == "synthetic"
+
+    @pytest.mark.parametrize("name", ["anna", "miles250", "games120"])
+    def test_doubled_families_are_halved(self, name):
+        instance = get_instance(name)
+        graph = instance.build()
+        assert graph.num_edges * 2 == instance.reported_edges
+        assert "doubled" in instance.notes
+
+    def test_deterministic_builds(self):
+        a = get_instance("anna").build()
+        b = get_instance("anna").build()
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["b06", "b09"])
+    def test_circuit_standins(self, name):
+        instance = get_instance(name)
+        h = instance.build()
+        assert h.num_vertices == instance.reported_vertices
+        assert not h.isolated_vertices()
+
+
+class TestFullRegistrySweep:
+    """Every registered instance must build and match its reported size."""
+
+    def test_all_graphs_build_and_match(self):
+        from repro.instances.dimacs import _is_doubled
+
+        for instance in list_instances("graph"):
+            graph = instance.build()
+            assert graph.num_vertices == instance.reported_vertices, \
+                instance.name
+            if _is_doubled(instance.name):
+                # These DIMACS families double-list their edges.
+                assert graph.num_edges * 2 == instance.reported_edges, \
+                    instance.name
+            else:
+                assert graph.num_edges == instance.reported_edges, \
+                    instance.name
+
+    def test_all_hypergraphs_build_and_match(self):
+        for instance in list_instances("hypergraph"):
+            h = instance.build()
+            assert h.num_vertices == instance.reported_vertices, \
+                instance.name
+            if instance.provenance == "exact":
+                assert h.num_edges == instance.reported_edges, instance.name
+            else:
+                # circuit stand-ins may add stray-coverage edges
+                assert h.num_edges >= instance.reported_edges, instance.name
+            assert not h.isolated_vertices(), instance.name
+
+
+class TestPaperMetadata:
+    def test_table_5_1_values_attached(self):
+        instance = get_instance("queen5_5")
+        record = instance.paper["table_5_1"]
+        assert record["astar"] == 18
+        assert record["astar_exact"] is True
+
+    def test_table_6_6_values_attached(self):
+        instance = get_instance("queen16_16")
+        record = instance.paper["table_6_6"]
+        assert record["best_known_ub"] == 186
+        assert record["ga_min"] == 186
+
+    def test_table_7_1_values_attached(self):
+        instance = get_instance("b09")
+        record = instance.paper["table_7_1"]
+        assert record["prior_best_ub"] == 10
+        assert record["ga_min"] == 7
+
+    def test_grid_table_5_2(self):
+        instance = get_instance("grid6")
+        record = instance.paper["table_5_2"]
+        assert record["treewidth"] == 6
+        assert record["astar_exact"] is True

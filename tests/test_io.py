@@ -1,0 +1,135 @@
+"""Unit tests for graph / hypergraph text formats."""
+
+import pytest
+
+from repro.hypergraph import (
+    FormatError,
+    Graph,
+    parse_dimacs,
+    parse_hypergraph,
+    write_dimacs,
+    write_hypergraph,
+    write_tree_decomposition,
+)
+from repro.hypergraph.generators import queen_graph
+
+
+class TestDimacs:
+    def test_parse_simple(self):
+        text = "c a comment\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n"
+        g = parse_dimacs(text)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.has_edge(2, 3)
+
+    def test_parse_ignores_duplicates_and_loops(self):
+        text = "p edge 3 4\ne 1 2\ne 2 1\ne 1 1\ne 2 3\n"
+        g = parse_dimacs(text)
+        assert g.num_edges == 2
+
+    def test_parse_missing_header(self):
+        with pytest.raises(FormatError):
+            parse_dimacs("e 1 2\n")
+
+    def test_parse_bad_record(self):
+        with pytest.raises(FormatError):
+            parse_dimacs("p edge 2 1\nx 1 2\n")
+
+    def test_parse_declares_isolated_vertices(self):
+        g = parse_dimacs("p edge 5 1\ne 1 2\n")
+        assert g.num_vertices == 5
+        assert g.degree(5) == 0
+
+    def test_roundtrip(self):
+        g = queen_graph(4)
+        text = write_dimacs(g, name="queen4_4")
+        parsed = parse_dimacs(text)
+        assert parsed.num_vertices == g.num_vertices
+        assert parsed.num_edges == g.num_edges
+
+    def test_write_relabels_to_one_based(self):
+        g = Graph.from_edges([("a", "b")])
+        text = write_dimacs(g)
+        assert "e 1 2" in text
+
+
+class TestPaceFormat:
+    def test_parse(self):
+        from repro.hypergraph import parse_pace_graph
+
+        g = parse_pace_graph("c comment\np tw 4 3\n1 2\n2 3\n3 4\n")
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_parse_missing_header(self):
+        from repro.hypergraph import parse_pace_graph
+
+        with pytest.raises(FormatError):
+            parse_pace_graph("1 2\n")
+
+    def test_parse_bad_header(self):
+        from repro.hypergraph import parse_pace_graph
+
+        with pytest.raises(FormatError):
+            parse_pace_graph("p edge 2 1\n1 2\n")
+
+    def test_roundtrip(self):
+        from repro.hypergraph import parse_pace_graph, write_pace_graph
+
+        g = queen_graph(4)
+        parsed = parse_pace_graph(write_pace_graph(g))
+        assert parsed.num_vertices == g.num_vertices
+        assert parsed.num_edges == g.num_edges
+
+    def test_cli_accepts_pace_files(self, tmp_path):
+        from repro.cli import load_structure
+        from repro.hypergraph import Graph, write_pace_graph
+
+        path = tmp_path / "toy.gr"
+        path.write_text(write_pace_graph(Graph.from_edges([(1, 2)])))
+        loaded = load_structure(str(path))
+        assert isinstance(loaded, Graph)
+        assert loaded.num_edges == 1
+
+
+class TestHypergraphFormat:
+    def test_parse(self):
+        text = "C1(x1, x2, x3),\nC2(x1,x5,x6),\nC3(x3,x4,x5).\n"
+        h = parse_hypergraph(text)
+        assert h.num_edges == 3
+        assert h.edge("C2") == frozenset({"x1", "x5", "x6"})
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "% comment\n\n// other comment\nfoo(a,b),\n"
+        h = parse_hypergraph(text)
+        assert h.num_edges == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(FormatError):
+            parse_hypergraph("not an edge line\n")
+
+    def test_parse_rejects_empty_edge(self):
+        with pytest.raises(FormatError):
+            parse_hypergraph("foo(),\n")
+
+    def test_roundtrip(self, example_hypergraph):
+        text = write_hypergraph(example_hypergraph)
+        parsed = parse_hypergraph(text)
+        assert parsed.num_edges == example_hypergraph.num_edges
+        assert set(parsed.edge_names()) == set(
+            example_hypergraph.edge_names()
+        )
+
+
+class TestTreeDecompositionFormat:
+    def test_write(self):
+        text = write_tree_decomposition(
+            bags={"a": [1, 2], "b": [2, 3]},
+            tree_edges=[("a", "b")],
+            num_graph_vertices=3,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "s td 2 2 3"
+        assert "b 1 1 2" in lines
+        assert "b 2 2 3" in lines
+        assert "1 2" in lines

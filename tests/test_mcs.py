@@ -1,0 +1,119 @@
+"""Tests for maximum cardinality search and chordality."""
+
+import pytest
+
+from repro.bounds import (
+    chordal_treewidth,
+    fill_in_of_ordering,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    mcs_ordering,
+)
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_gnm_graph,
+)
+from repro.search import brute_force_treewidth
+
+
+def chordal_example():
+    """A 2-tree (chordal, treewidth 2)."""
+    g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+    g.add_edge(1, 3), g.add_edge(2, 3)
+    g.add_edge(2, 4), g.add_edge(3, 4)
+    return g
+
+
+class TestMCS:
+    def test_ordering_is_permutation(self, grid4):
+        ordering = mcs_ordering(grid4)
+        assert sorted(map(repr, ordering)) == sorted(
+            map(repr, grid4.vertex_list())
+        )
+
+    def test_perfect_on_chordal(self):
+        g = chordal_example()
+        assert is_perfect_elimination_ordering(g, mcs_ordering(g))
+
+    def test_perfect_on_trees(self):
+        g = path_graph(8)
+        assert is_perfect_elimination_ordering(g, mcs_ordering(g))
+
+    def test_perfect_on_complete(self):
+        g = complete_graph(6)
+        assert is_perfect_elimination_ordering(g, mcs_ordering(g))
+
+    def test_imperfect_on_cycles(self, cycle5):
+        assert not is_perfect_elimination_ordering(
+            cycle5, mcs_ordering(cycle5)
+        )
+
+    def test_rng_variant_still_valid(self, grid4, rng):
+        ordering = mcs_ordering(grid4, rng)
+        assert set(ordering) == set(grid4.vertex_list())
+
+
+class TestChordality:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: path_graph(6), True),
+            (lambda: complete_graph(5), True),
+            (lambda: chordal_example(), True),
+            (lambda: cycle_graph(4), False),
+            (lambda: cycle_graph(6), False),
+            (lambda: grid_graph(3), False),
+            (lambda: Graph(), True),
+            (lambda: Graph(vertices=[1]), True),
+        ],
+    )
+    def test_known_cases(self, builder, expected):
+        assert is_chordal(builder()) is expected
+
+    def test_fill_in_counts(self, cycle5):
+        # a cycle ordering 0..4 fills exactly 2 chords
+        assert fill_in_of_ordering(cycle5, [0, 1, 2, 3, 4]) == 2
+        assert fill_in_of_ordering(path_graph(4), [0, 1, 2, 3]) == 0
+
+    def test_chordal_treewidth_exact(self):
+        g = chordal_example()
+        assert chordal_treewidth(g) == 2 == brute_force_treewidth(g)
+
+    def test_chordal_treewidth_tree(self):
+        assert chordal_treewidth(path_graph(9)) == 1
+
+    def test_chordal_treewidth_rejects_cycles(self, cycle5):
+        with pytest.raises(ValueError):
+            chordal_treewidth(cycle5)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chordal_after_fill_in(self, seed):
+        """Eliminating a graph and adding the fill edges always yields a
+        chordal graph (the triangulation)."""
+        g = random_gnm_graph(8, 14, seed=seed + 7000)
+        triangulated = g.copy()
+        scratch = g.copy()
+        for v in list(g.vertex_list()):
+            record = scratch.eliminate(v)
+            for a, b in record.fill_edges:
+                triangulated.add_edge(a, b)
+        assert is_chordal(triangulated)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chordal_treewidth_vs_astar(self, seed):
+        """On triangulations, MCS width equals the exact treewidth."""
+        from repro.search import astar_treewidth
+
+        g = random_gnm_graph(7, 10, seed=seed + 7100)
+        triangulated = g.copy()
+        scratch = g.copy()
+        for v in list(g.vertex_list()):
+            record = scratch.eliminate(v)
+            for a, b in record.fill_edges:
+                triangulated.add_edge(a, b)
+        assert chordal_treewidth(triangulated) == \
+            astar_treewidth(triangulated).width

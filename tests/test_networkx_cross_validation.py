@@ -1,0 +1,122 @@
+"""Cross-validation against networkx — an independent implementation.
+
+Everything in this package is built from scratch; these tests check the
+substrate against a widely-used third-party library on randomized
+inputs:
+
+* graph mutation sequences (adjacency equality),
+* chordality (``nx.is_chordal``),
+* connected components,
+* treewidth upper bounds (``nx.approximation.treewidth_min_fill_in`` is
+  a valid upper bound, so both must dominate our exact values),
+* maximum independent set (via max weight clique on the complement).
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from networkx.algorithms import approximation as nx_approx
+
+from repro.apps import max_weight_independent_set
+from repro.bounds import is_chordal
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import random_gnm_graph
+from repro.search import astar_treewidth, brute_force_treewidth
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertex_list())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestGraphOperations:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_mutation_sequences_agree(self, seed):
+        rng = random.Random(seed)
+        ours = Graph(vertices=range(8))
+        theirs = nx.Graph()
+        theirs.add_nodes_from(range(8))
+        for _ in range(60):
+            op = rng.choice(["add_edge", "remove_edge", "remove_vertex",
+                             "add_vertex"])
+            if op == "add_edge":
+                u, v = rng.randrange(12), rng.randrange(12)
+                if u != v:
+                    ours.add_edge(u, v)
+                    theirs.add_edge(u, v)
+            elif op == "remove_edge":
+                edges = list(ours.edges())
+                if edges:
+                    u, v = edges[rng.randrange(len(edges))]
+                    ours.remove_edge(u, v)
+                    theirs.remove_edge(u, v)
+            elif op == "remove_vertex":
+                vertices = ours.vertex_list()
+                if len(vertices) > 1:
+                    v = vertices[rng.randrange(len(vertices))]
+                    ours.remove_vertex(v)
+                    theirs.remove_node(v)
+            else:
+                v = rng.randrange(15)
+                ours.add_vertex(v)
+                theirs.add_node(v)
+            assert set(ours.vertex_list()) == set(theirs.nodes)
+            assert {frozenset(e) for e in ours.edges()} == \
+                {frozenset(e) for e in theirs.edges}
+            assert ours.num_edges == theirs.number_of_edges()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_elimination_matches_manual_fill(self, seed):
+        """Our eliminate() equals 'clique the neighborhood then delete'
+        performed on the networkx side."""
+        ours = random_gnm_graph(9, 16, seed=seed + 16000)
+        theirs = to_networkx(ours)
+        rng = random.Random(seed)
+        order = ours.vertex_list()
+        rng.shuffle(order)
+        for v in order[:5]:
+            nbrs = list(theirs.neighbors(v))
+            for i, a in enumerate(nbrs):
+                for b in nbrs[i + 1:]:
+                    theirs.add_edge(a, b)
+            theirs.remove_node(v)
+            ours.eliminate(v)
+            assert {frozenset(e) for e in ours.edges()} == \
+                {frozenset(e) for e in theirs.edges}
+
+
+class TestStructuralPredicates:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_chordality_agrees(self, seed):
+        g = random_gnm_graph(9, 18, seed=seed + 16100)
+        assert is_chordal(g) == nx.is_chordal(to_networkx(g))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_connected_components_agree(self, seed):
+        g = random_gnm_graph(12, 8, seed=seed + 16200)
+        ours = sorted(map(sorted, g.connected_components()))
+        theirs = sorted(
+            sorted(c) for c in nx.connected_components(to_networkx(g))
+        )
+        assert ours == theirs
+
+
+class TestWidths:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_networkx_heuristic_upper_bounds_our_exact(self, seed):
+        g = random_gnm_graph(9, 16, seed=seed + 16300)
+        exact = astar_treewidth(g).width
+        nx_width, _ = nx_approx.treewidth_min_fill_in(to_networkx(g))
+        assert exact <= nx_width  # their heuristic is an upper bound
+        assert exact == brute_force_treewidth(g)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mis_agrees_via_complement_clique(self, seed):
+        g = random_gnm_graph(9, 16, seed=seed + 16400)
+        value, _ = max_weight_independent_set(g)
+        complement = nx.complement(to_networkx(g))
+        clique, weight = nx.max_weight_clique(complement, weight=None)
+        assert value == weight == len(clique)

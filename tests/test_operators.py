@@ -1,0 +1,146 @@
+"""Tests for the permutation crossover and mutation operators."""
+
+import random
+
+import pytest
+
+from repro.genetic import (
+    CROSSOVER_OPERATORS,
+    MUTATION_OPERATORS,
+    OperatorError,
+    ap_crossover,
+    cx_crossover,
+    ox1_crossover,
+    ox2_crossover,
+    pmx_crossover,
+    pos_crossover,
+)
+
+
+@pytest.fixture
+def parents(rng):
+    base = list(range(10))
+    other = base[:]
+    rng.shuffle(other)
+    return base, other
+
+
+class TestCrossoversGeneric:
+    @pytest.mark.parametrize("name", sorted(CROSSOVER_OPERATORS))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_child_is_permutation(self, name, seed):
+        rng = random.Random(seed)
+        size = rng.randint(1, 15)
+        p1 = list(range(size))
+        p2 = p1[:]
+        rng.shuffle(p1)
+        rng.shuffle(p2)
+        child = CROSSOVER_OPERATORS[name](p1, p2, rng)
+        assert sorted(child) == list(range(size)), name
+
+    @pytest.mark.parametrize("name", sorted(CROSSOVER_OPERATORS))
+    def test_identical_parents_reproduce(self, name, rng):
+        p = [3, 1, 4, 0, 2]
+        child = CROSSOVER_OPERATORS[name](p, list(p), rng)
+        assert child == p
+
+    @pytest.mark.parametrize("name", sorted(CROSSOVER_OPERATORS))
+    def test_mismatched_parents_rejected(self, name, rng):
+        with pytest.raises(OperatorError):
+            CROSSOVER_OPERATORS[name]([1, 2, 3], [1, 2], rng)
+        with pytest.raises(OperatorError):
+            CROSSOVER_OPERATORS[name]([1, 2, 3], [4, 5, 6], rng)
+
+    @pytest.mark.parametrize("name", sorted(CROSSOVER_OPERATORS))
+    def test_singleton(self, name, rng):
+        assert CROSSOVER_OPERATORS[name]([7], [7], rng) == [7]
+
+    @pytest.mark.parametrize("name", sorted(CROSSOVER_OPERATORS))
+    def test_string_elements(self, name, rng):
+        p1 = ["a", "b", "c", "d"]
+        p2 = ["d", "c", "b", "a"]
+        child = CROSSOVER_OPERATORS[name](p1, p2, rng)
+        assert sorted(child) == ["a", "b", "c", "d"]
+
+
+class TestCrossoverSemantics:
+    def test_cx_first_cycle_from_parent1(self):
+        rng = random.Random(0)
+        p1 = [1, 2, 3, 4, 5]
+        p2 = [2, 1, 4, 5, 3]
+        child = cx_crossover(p1, p2, rng)
+        # cycle at position 0: p1[0]=1, p2[0]=2 -> pos of 2 in p1 is 1,
+        # p2[1]=1 closes the cycle {0, 1}; the rest comes from p2.
+        assert child == [1, 2, 4, 5, 3]
+
+    def test_pos_keeps_parent2_positions(self):
+        class FixedRandom(random.Random):
+            def random(self):
+                return 0.4  # < 0.5: keep every position from parent2
+
+        child = pos_crossover([1, 2, 3], [3, 2, 1], FixedRandom())
+        assert child == [3, 2, 1]
+
+    def test_ap_alternates(self):
+        rng = random.Random(0)
+        child = ap_crossover([1, 2, 3, 4], [4, 3, 2, 1], rng)
+        assert child == [1, 4, 2, 3]
+
+    def test_ox1_preserves_segment(self):
+        rng = random.Random(1)
+        p1 = list(range(8))
+        p2 = list(reversed(p1))
+        child = ox1_crossover(p1, p2, rng)
+        # the segment copied from p1 appears contiguously
+        assert sorted(child) == p1
+
+    def test_pmx_segment_from_parent2(self):
+        rng = random.Random(2)
+        p1 = [1, 2, 3, 4, 5, 6]
+        p2 = [6, 5, 4, 3, 2, 1]
+        child = pmx_crossover(p1, p2, rng)
+        assert sorted(child) == sorted(p1)
+
+    def test_ox2_imposes_parent2_order(self):
+        class AllPositions(random.Random):
+            def random(self):
+                return 0.0  # select every position
+
+        p1 = [1, 2, 3, 4]
+        p2 = [4, 3, 2, 1]
+        child = ox2_crossover(p1, p2, AllPositions())
+        assert child == [4, 3, 2, 1]
+
+
+class TestMutationsGeneric:
+    @pytest.mark.parametrize("name", sorted(MUTATION_OPERATORS))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mutant_is_permutation(self, name, seed):
+        rng = random.Random(seed)
+        size = rng.randint(1, 15)
+        individual = list(range(size))
+        rng.shuffle(individual)
+        mutant = MUTATION_OPERATORS[name](individual, rng)
+        assert sorted(mutant) == list(range(size)), name
+
+    @pytest.mark.parametrize("name", sorted(MUTATION_OPERATORS))
+    def test_input_not_mutated_in_place(self, name):
+        rng = random.Random(9)
+        individual = [0, 1, 2, 3, 4, 5]
+        snapshot = list(individual)
+        MUTATION_OPERATORS[name](individual, rng)
+        assert individual == snapshot
+
+    @pytest.mark.parametrize("name", sorted(MUTATION_OPERATORS))
+    def test_singleton(self, name, rng):
+        assert MUTATION_OPERATORS[name]([9], rng) == [9]
+
+    @pytest.mark.parametrize("name", sorted(MUTATION_OPERATORS))
+    def test_eventually_changes_something(self, name):
+        rng = random.Random(4)
+        individual = list(range(10))
+        changed = any(
+            MUTATION_OPERATORS[name](individual, rng) != individual
+            for _ in range(50)
+        )
+        assert changed, name

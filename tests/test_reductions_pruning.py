@@ -1,0 +1,141 @@
+"""Tests for the search-space reductions and pruning rules."""
+
+import pytest
+
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_gnm_graph,
+)
+from repro.search import (
+    brute_force_treewidth,
+    find_reducible,
+    find_simplicial,
+    find_strongly_almost_simplicial,
+    pr1_closes_subtree,
+    pr1_effective_width,
+    reduce_graph,
+    swap_equivalent,
+)
+from repro.decomposition import ordering_width
+
+
+class TestSimplicial:
+    def test_finds_leaf(self, path6):
+        v = find_simplicial(path6)
+        assert v in (0, 5)
+
+    def test_triangle_all_simplicial(self, triangle):
+        assert find_simplicial(triangle) is not None
+
+    def test_none_on_cycle(self):
+        g = cycle_graph(5)
+        assert find_simplicial(g) is None
+
+    def test_isolated_vertex_is_simplicial(self):
+        g = Graph(vertices=[1, 2])
+        g.add_edge(1, 2)
+        g.add_vertex(3)
+        assert find_simplicial(g) == 3
+
+
+class TestStronglyAlmostSimplicial:
+    def test_found_with_generous_bound(self):
+        # cycle vertex: two non-adjacent neighbors -> almost simplicial
+        g = cycle_graph(5)
+        v = find_strongly_almost_simplicial(g, lower_bound=2)
+        assert v is not None
+
+    def test_degree_gate(self):
+        g = cycle_graph(5)
+        assert find_strongly_almost_simplicial(g, lower_bound=1) is None
+
+    def test_none_on_dense_core(self):
+        # 3x3 rook's graph: every vertex's neighborhood misses >= 2 edges
+        g = Graph()
+        for r in range(3):
+            for c in range(3):
+                for cc in range(c + 1, 3):
+                    g.add_edge((r, c), (r, cc))
+                for rr in range(r + 1, 3):
+                    g.add_edge((r, c), (rr, c))
+        assert find_strongly_almost_simplicial(g, lower_bound=0) is None
+
+
+class TestReduceGraph:
+    def test_chordal_graph_fully_reduces(self):
+        # Trees are chordal: reduction should eat the whole graph.
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        prefix, width = reduce_graph(g, 0)
+        assert len(g) == 0
+        assert width == 1
+        assert len(prefix) == 5
+
+    def test_reduction_width_matches_treewidth_on_chordal(self):
+        # k-tree style chordal graph
+        g = complete_graph(4)
+        g.add_edge(0, 4), g.add_edge(1, 4), g.add_edge(2, 4)
+        g.add_edge(1, 5), g.add_edge(2, 5), g.add_edge(3, 5)
+        reference = g.copy()
+        prefix, width = reduce_graph(g, 0)
+        assert len(g) == 0
+        assert width == brute_force_treewidth(reference) == 3
+
+    def test_cycle_partially_reduces(self):
+        g = cycle_graph(6)
+        prefix, width = reduce_graph(g, 2)
+        # with lb >= 2 the cycle is fully consumed by SAS reductions
+        assert len(g) == 0
+        assert width == 2
+
+
+class TestPR1:
+    def test_effective_width(self):
+        assert pr1_effective_width(3, 10) == 9
+        assert pr1_effective_width(7, 4) == 7
+
+    def test_closes_subtree(self):
+        assert pr1_closes_subtree(5, 6)
+        assert not pr1_closes_subtree(5, 7)
+
+
+class TestPR2:
+    def test_non_adjacent_always_swappable(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        assert swap_equivalent(g, 1, 3)
+        assert swap_equivalent(g, 1, 4)
+
+    def test_adjacent_with_private_neighbors(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (2, 4)])
+        # 1-2 adjacent; 1 has private neighbor 3, 2 has private 4.
+        assert swap_equivalent(g, 1, 2)
+
+    def test_adjacent_without_private_neighbor(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (2, 3)])
+        # neighbors of 1 = {2,3}; of 2 = {1,3} -> no private ones.
+        assert not swap_equivalent(g, 1, 2)
+
+    def test_swap_preserves_width_semantics(self):
+        """The rule's promise: swapping equivalent consecutive vertices
+        preserves ordering width (checked exhaustively on small random
+        graphs)."""
+        import itertools
+
+        for seed in range(6):
+            g = random_gnm_graph(6, 8, seed=seed + 60)
+            vertices = g.vertex_list()
+            for ordering in itertools.permutations(vertices):
+                for i in range(len(ordering) - 1):
+                    scratch = g.copy()
+                    for v in ordering[:i]:
+                        scratch.eliminate(v)
+                    a, b = ordering[i], ordering[i + 1]
+                    if not swap_equivalent(scratch, a, b):
+                        continue
+                    swapped = list(ordering)
+                    swapped[i], swapped[i + 1] = b, a
+                    assert ordering_width(g, list(ordering)) == \
+                        ordering_width(g, swapped)
+                break  # one ordering per graph keeps this fast

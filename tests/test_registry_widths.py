@@ -1,0 +1,48 @@
+"""Width invariants across the registered small exact instances.
+
+A final integration sweep: for every tractable exact-construction
+hypergraph in the registry, the bound chain
+``ghw_lower <= ghw_exact <= greedy-evaluated upper`` must hold, and the
+exact searches must agree with each other.
+"""
+
+import pytest
+
+from repro.bounds import ghw_lower_bound, min_fill_ordering
+from repro.decomposition import ghw_ordering_width
+from repro.instances import get_instance
+from repro.search import (
+    SearchBudget,
+    astar_ghw,
+    branch_and_bound_ghw,
+)
+
+SMALL_EXACT = [
+    "adder_5", "adder_10", "bridge_5",
+    "clique_6", "clique_8", "clique_10", "grid2d_4",
+]
+
+
+@pytest.mark.parametrize("name", SMALL_EXACT)
+def test_bound_chain(name):
+    h = get_instance(name).build()
+    lb = ghw_lower_bound(h)
+    exact = branch_and_bound_ghw(h, budget=SearchBudget(max_seconds=30))
+    ub = ghw_ordering_width(h, min_fill_ordering(h))
+    assert exact.exact, name
+    assert lb <= exact.width <= ub, (name, lb, exact.width, ub)
+
+
+@pytest.mark.parametrize("name", SMALL_EXACT[:4])
+def test_searches_agree(name):
+    h = get_instance(name).build()
+    bb = branch_and_bound_ghw(h, budget=SearchBudget(max_seconds=30))
+    astar = astar_ghw(h, budget=SearchBudget(max_seconds=30))
+    assert bb.exact and astar.exact
+    assert bb.width == astar.width, name
+
+
+def test_known_family_values():
+    assert branch_and_bound_ghw(get_instance("adder_10").build()).width == 2
+    assert branch_and_bound_ghw(get_instance("clique_10").build()).width == 5
+    assert branch_and_bound_ghw(get_instance("bridge_10").build()).width == 2

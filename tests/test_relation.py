@@ -1,0 +1,140 @@
+"""Tests for the relational algebra layer."""
+
+import pytest
+
+from repro.csp import Relation, RelationError, cartesian_relation
+
+
+@pytest.fixture
+def r():
+    return Relation(("x", "y"), [(1, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def s():
+    return Relation(("y", "z"), [(2, 9), (3, 8), (7, 7)])
+
+
+class TestConstruction:
+    def test_basic(self, r):
+        assert r.schema == ("x", "y")
+        assert len(r) == 3
+        assert not r.is_empty
+
+    def test_duplicate_rows_collapse(self):
+        rel = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "a"), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_nullary_relation(self):
+        truthy = Relation((), [()])
+        falsy = Relation((), [])
+        assert not truthy.is_empty
+        assert falsy.is_empty
+
+
+class TestAlgebra:
+    def test_project(self, r):
+        p = r.project(("y",))
+        assert p.schema == ("y",)
+        assert p.tuples == frozenset({(2,), (3,)})
+
+    def test_project_reorders(self, r):
+        p = r.project(("y", "x"))
+        assert (2, 1) in p.tuples
+
+    def test_project_unknown(self, r):
+        with pytest.raises(RelationError):
+            r.project(("zzz",))
+
+    def test_select_equals(self, r):
+        sel = r.select_equals({"x": 1})
+        assert sel.tuples == frozenset({(1, 2), (1, 3)})
+
+    def test_select_unknown(self, r):
+        with pytest.raises(RelationError):
+            r.select_equals({"zzz": 1})
+
+    def test_rename(self, r):
+        renamed = r.rename({"x": "a"})
+        assert renamed.schema == ("a", "y")
+        assert renamed.tuples == r.tuples
+
+    def test_natural_join(self, r, s):
+        joined = r.natural_join(s)
+        assert joined.schema == ("x", "y", "z")
+        assert joined.tuples == frozenset(
+            {(1, 2, 9), (1, 3, 8), (2, 3, 8)}
+        )
+
+    def test_join_disjoint_is_product(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("y",), [(5,)])
+        assert len(a.natural_join(b)) == 2
+
+    def test_join_empty(self, r):
+        empty = Relation(("y", "z"), [])
+        assert r.natural_join(empty).is_empty
+
+    def test_semijoin(self, r, s):
+        reduced = r.semijoin(s)
+        assert reduced.schema == r.schema
+        assert reduced.tuples == r.tuples  # every y of r appears in s
+
+    def test_semijoin_filters(self, r):
+        other = Relation(("y",), [(2,)])
+        reduced = r.semijoin(other)
+        assert reduced.tuples == frozenset({(1, 2)})
+
+    def test_semijoin_disjoint_schema(self, r):
+        nonempty = Relation(("q",), [(0,)])
+        empty = Relation(("q",), [])
+        assert r.semijoin(nonempty) == r
+        assert r.semijoin(empty).is_empty
+
+    def test_matching(self, r):
+        m = r.matching({"x": 1, "unrelated": 99})
+        assert m.tuples == frozenset({(1, 2), (1, 3)})
+
+    def test_any_row_as_assignment(self, r):
+        row = r.any_row_as_assignment()
+        assert set(row) == {"x", "y"}
+        assert tuple(row.values()) in {(1, 2), (1, 3), (2, 3)}
+
+    def test_any_row_empty_raises(self):
+        with pytest.raises(RelationError):
+            Relation(("a",), []).any_row_as_assignment()
+
+
+class TestEquality:
+    def test_column_order_irrelevant(self):
+        a = Relation(("x", "y"), [(1, 2)])
+        b = Relation(("y", "x"), [(2, 1)])
+        assert a == b
+
+    def test_different_attributes(self):
+        a = Relation(("x",), [(1,)])
+        b = Relation(("y",), [(1,)])
+        assert a != b
+
+
+class TestCartesian:
+    def test_product(self):
+        rel = cartesian_relation(("a", "b"), {"a": [1, 2], "b": "xy"})
+        assert len(rel) == 4
+
+    def test_empty_attrs(self):
+        rel = cartesian_relation((), {})
+        assert rel.tuples == frozenset({()})
+
+    def test_join_semantics(self):
+        rel = cartesian_relation(("a", "b"), {"a": [1], "b": [2, 3]})
+        constraint = Relation(("a", "b"), [(1, 2)])
+        assert rel.natural_join(constraint).tuples == frozenset({(1, 2)})

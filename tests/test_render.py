@@ -1,0 +1,80 @@
+"""Tests for the decomposition renderers."""
+
+from repro.decomposition import (
+    GeneralizedHypertreeDecomposition,
+    TreeDecomposition,
+    bucket_elimination,
+)
+from repro.decomposition.render import (
+    render_tree_decomposition,
+    summarize_decomposition,
+)
+from repro.bounds import min_fill_ordering
+from repro.hypergraph.generators import grid_graph
+
+
+def small_td():
+    td = TreeDecomposition()
+    td.add_node("a", {1, 2})
+    td.add_node("b", {2, 3})
+    td.add_node("c", {3, 4})
+    td.add_tree_edge("a", "b")
+    td.add_tree_edge("b", "c")
+    return td
+
+
+class TestRender:
+    def test_empty(self):
+        assert "empty" in render_tree_decomposition(TreeDecomposition())
+
+    def test_single_node(self):
+        td = TreeDecomposition()
+        td.add_node("only", {1, 2, 3})
+        text = render_tree_decomposition(td)
+        assert text == "{1, 2, 3}"
+
+    def test_chain(self):
+        text = render_tree_decomposition(small_td(), root="a")
+        lines = text.splitlines()
+        assert lines[0] == "{1, 2}"
+        assert "└── {2, 3}" in lines[1]
+        assert "{3, 4}" in lines[2]
+
+    def test_branching_connectors(self):
+        td = TreeDecomposition()
+        td.add_node("r", {0})
+        td.add_node("x", {1})
+        td.add_node("y", {2})
+        td.add_tree_edge("r", "x")
+        td.add_tree_edge("r", "y")
+        text = render_tree_decomposition(td, root="r")
+        assert "├── " in text and "└── " in text
+
+    def test_ghd_shows_lambdas(self):
+        ghd = GeneralizedHypertreeDecomposition()
+        ghd.add_node("p", bag={1, 2}, cover={"e1", "e2"})
+        text = render_tree_decomposition(ghd)
+        assert "[e1, e2]" in text
+
+    def test_every_node_appears(self):
+        g = grid_graph(3)
+        td = bucket_elimination(g, min_fill_ordering(g))
+        text = render_tree_decomposition(td)
+        assert len(text.splitlines()) == td.num_nodes
+
+
+class TestSummary:
+    def test_empty(self):
+        assert summarize_decomposition(TreeDecomposition()) == \
+            "empty decomposition"
+
+    def test_td_summary(self):
+        text = summarize_decomposition(small_td())
+        assert text.startswith("TD: 3 nodes, width 1")
+        assert "2:3" in text  # three bags of size 2
+
+    def test_ghd_summary(self):
+        ghd = GeneralizedHypertreeDecomposition()
+        ghd.add_node("p", bag={1, 2, 3}, cover={"e1"})
+        text = summarize_decomposition(ghd)
+        assert text.startswith("GHD: 1 nodes, width 1")

@@ -1,0 +1,120 @@
+"""Determinism tests: every randomized component must be bit-identical
+across runs with the same seed (the benchmarks' reproducibility claim)."""
+
+import random
+
+import pytest
+
+from repro.bounds import min_fill_ordering, minor_min_width
+from repro.genetic import (
+    GAParameters,
+    SAIGAParameters,
+    ga_ghw,
+    ga_treewidth,
+    saiga_ghw,
+)
+from repro.hypergraph.generators import (
+    adder_hypergraph,
+    queen_graph,
+    random_circuit_hypergraph,
+    random_geometric_graph,
+    random_gnm_graph,
+    random_interval_graph,
+    random_partitioned_graph,
+)
+from repro.instances import list_instances
+from repro.search import astar_treewidth, branch_and_bound_ghw
+from repro.setcover import greedy_set_cover
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: random_gnm_graph(20, 40, seed=5),
+            lambda: random_geometric_graph(20, 40, seed=5),
+            lambda: random_partitioned_graph(20, 40, 4, seed=5),
+            lambda: random_interval_graph(20, 40, seed=5),
+            lambda: random_circuit_hypergraph(20, 22, seed=5),
+        ],
+    )
+    def test_same_seed_same_object(self, factory):
+        assert factory() == factory()
+
+    def test_registry_builds_are_stable(self):
+        for instance in list_instances()[:10]:
+            assert instance.build() == instance.build()
+
+
+class TestAlgorithmDeterminism:
+    def test_min_fill_without_rng(self):
+        g = queen_graph(5)
+        assert min_fill_ordering(g) == min_fill_ordering(g)
+
+    def test_min_fill_with_seeded_rng(self):
+        g = queen_graph(5)
+        a = min_fill_ordering(g, random.Random(3))
+        b = min_fill_ordering(g, random.Random(3))
+        assert a == b
+
+    def test_minor_min_width_seeded(self):
+        g = random_gnm_graph(15, 35, seed=9)
+        assert minor_min_width(g, random.Random(1)) == \
+            minor_min_width(g, random.Random(1))
+
+    def test_greedy_cover_seeded(self):
+        h = adder_hypergraph(10)
+        bag = set(list(h.vertex_list())[:10])
+        a = greedy_set_cover(bag, h, random.Random(2))
+        b = greedy_set_cover(bag, h, random.Random(2))
+        assert a == b
+
+    def test_astar_deterministic(self):
+        g = random_gnm_graph(8, 14, seed=77)
+        a = astar_treewidth(g)
+        b = astar_treewidth(g)
+        assert a.width == b.width
+        assert list(a.ordering) == list(b.ordering)
+        assert a.stats.nodes_expanded == b.stats.nodes_expanded
+
+    def test_bb_ghw_deterministic(self):
+        h = adder_hypergraph(6)
+        a = branch_and_bound_ghw(h)
+        b = branch_and_bound_ghw(h)
+        assert a.width == b.width
+        assert a.stats.nodes_expanded == b.stats.nodes_expanded
+
+    def test_ga_tw_seeded(self):
+        g = queen_graph(5)
+        params = GAParameters(population_size=12, generations=8)
+        a = ga_treewidth(g, params, rng=random.Random(4))
+        b = ga_treewidth(g, params, rng=random.Random(4))
+        assert a.best_fitness == b.best_fitness
+        assert a.best_individual == b.best_individual
+        assert a.history == b.history
+
+    def test_ga_ghw_seeded(self):
+        h = adder_hypergraph(6)
+        params = GAParameters(population_size=10, generations=6)
+        a = ga_ghw(h, params, rng=random.Random(4))
+        b = ga_ghw(h, params, rng=random.Random(4))
+        assert a.best_fitness == b.best_fitness
+        assert a.best_individual == b.best_individual
+
+    def test_saiga_seeded(self):
+        h = adder_hypergraph(5)
+        params = SAIGAParameters(
+            num_islands=2, island_population=6, epochs=3
+        )
+        a = saiga_ghw(h, params, rng=random.Random(4))
+        b = saiga_ghw(h, params, rng=random.Random(4))
+        assert a.best_fitness == b.best_fitness
+        assert a.history == b.history
+
+    def test_different_seeds_allowed_to_differ(self):
+        # not an assertion of difference (could coincide), only that
+        # seeding is actually consumed: histories have the right length.
+        g = queen_graph(5)
+        params = GAParameters(population_size=12, generations=8)
+        result = ga_treewidth(g, params, rng=random.Random(99))
+        assert len(result.history) == 9

@@ -1,0 +1,89 @@
+"""Focused tests for SAIGA's self-adaptation machinery (§7.2.2–7.2.5)."""
+
+import random
+
+import pytest
+
+from repro.genetic import PARAMETER_RANGES, ParameterVector
+
+
+class TestParameterVector:
+    def test_random_within_ranges(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            vector = ParameterVector.random(rng)
+            lo, hi = PARAMETER_RANGES["crossover_rate"]
+            assert lo <= vector.crossover_rate <= hi
+            lo, hi = PARAMETER_RANGES["mutation_rate"]
+            assert lo <= vector.mutation_rate <= hi
+            lo, hi = PARAMETER_RANGES["tournament_size"]
+            assert lo <= vector.tournament_size <= hi
+            assert isinstance(vector.tournament_size, int)
+
+    def test_mutation_stays_within_ranges(self):
+        rng = random.Random(1)
+        vector = ParameterVector.random(rng)
+        for _ in range(100):
+            vector = vector.mutated(rng, scale=0.2)
+            lo, hi = PARAMETER_RANGES["crossover_rate"]
+            assert lo <= vector.crossover_rate <= hi
+            lo, hi = PARAMETER_RANGES["mutation_rate"]
+            assert lo <= vector.mutation_rate <= hi
+            lo, hi = PARAMETER_RANGES["tournament_size"]
+            assert lo <= vector.tournament_size <= hi
+
+    def test_mutation_with_zero_scale_is_identity_ish(self):
+        rng = random.Random(2)
+        vector = ParameterVector(0.8, 0.2, 3)
+        mutated = vector.mutated(rng, scale=0.0)
+        assert mutated.crossover_rate == pytest.approx(0.8)
+        assert mutated.mutation_rate == pytest.approx(0.2)
+        assert mutated.tournament_size == 3
+
+    def test_orientation_moves_halfway(self):
+        rng = random.Random(3)
+        a = ParameterVector(0.6, 0.1, 2)
+        b = ParameterVector(1.0, 0.3, 4)
+        moved = a.oriented_toward(b, step=0.5, rng=rng)
+        assert moved.crossover_rate == pytest.approx(0.8)
+        assert moved.mutation_rate == pytest.approx(0.2)
+        assert moved.tournament_size == 3
+
+    def test_orientation_full_step_reaches_target(self):
+        rng = random.Random(4)
+        a = ParameterVector(0.6, 0.1, 2)
+        b = ParameterVector(0.9, 0.4, 5)
+        moved = a.oriented_toward(b, step=1.0, rng=rng)
+        assert moved.crossover_rate == pytest.approx(0.9)
+        assert moved.mutation_rate == pytest.approx(0.4)
+        assert moved.tournament_size == 5
+
+    def test_orientation_zero_step_is_identity(self):
+        rng = random.Random(5)
+        a = ParameterVector(0.7, 0.25, 3)
+        moved = a.oriented_toward(ParameterVector(1.0, 0.5, 5), 0.0, rng)
+        assert moved.crossover_rate == pytest.approx(0.7)
+        assert moved.mutation_rate == pytest.approx(0.25)
+        assert moved.tournament_size == 3
+
+
+class TestIslandMigration:
+    def test_migrant_replaces_worst(self):
+        from repro.genetic.saiga import _Island
+
+        rng = random.Random(6)
+        island = _Island(
+            vertices=list(range(5)),
+            fitness=lambda perm: perm.index(0),  # smaller is better
+            size=4,
+            vector=ParameterVector(0.9, 0.2, 2),
+            rng=rng,
+        )
+        worst_before = max(island.fitnesses)
+        migrant = [0, 1, 2, 3, 4]  # fitness 0, the best possible
+        island.immigrate(migrant, 0)
+        assert 0 in island.fitnesses
+        assert island.fitnesses.count(worst_before) <= \
+            [island.fitness_fn(ind) for ind in island.population].count(
+                worst_before
+            ) + 1

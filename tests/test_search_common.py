@@ -1,0 +1,97 @@
+"""Tests for the shared search infrastructure (budgets, replayer)."""
+
+import time
+
+import pytest
+
+from repro.hypergraph.generators import grid_graph, random_gnm_graph
+from repro.search import BudgetExceeded, GraphReplayer, SearchBudget
+from repro.search.common import SearchResult, SearchStats
+
+
+class TestBudget:
+    def test_node_budget_raises(self):
+        clock = SearchBudget(max_nodes=3).start()
+        clock.tick()
+        clock.tick()
+        clock.tick()
+        with pytest.raises(BudgetExceeded):
+            clock.tick()
+
+    def test_unlimited_budget(self):
+        clock = SearchBudget().start()
+        for _ in range(1000):
+            clock.tick()
+        assert clock.nodes == 1000
+
+    def test_time_budget(self):
+        clock = SearchBudget(max_seconds=0.05).start()
+        time.sleep(0.08)
+        with pytest.raises(BudgetExceeded):
+            for _ in range(128):  # time is sampled every 64 ticks
+                clock.tick()
+
+    def test_elapsed(self):
+        clock = SearchBudget().start()
+        assert clock.elapsed >= 0
+
+
+class TestSearchResult:
+    def test_width_is_upper_bound(self):
+        result = SearchResult(5, 3, [1, 2], False, SearchStats())
+        assert result.width == 5
+        assert not result.exact
+
+
+class TestGraphReplayer:
+    def test_move_forward_and_back(self):
+        g = grid_graph(3)
+        replayer = GraphReplayer(g)
+        full = [(r, c) for r in range(3) for c in range(3)]
+        state_a = replayer.move_to(full[:4])
+        assert len(state_a) == 5
+        state_b = replayer.move_to(full[:1])
+        assert len(state_b) == 8
+        state_c = replayer.move_to([])
+        assert state_c == g
+
+    def test_divergent_orderings(self):
+        g = random_gnm_graph(8, 14, seed=1)
+        replayer = GraphReplayer(g)
+        vertices = g.vertex_list()
+        a = vertices[:3]
+        b = [vertices[0], vertices[4], vertices[5]]
+        ga = replayer.move_to(a).copy()
+        gb = replayer.move_to(b).copy()
+        # reference: eliminate from scratch
+        ref_a = g.copy()
+        for v in a:
+            ref_a.eliminate(v)
+        ref_b = g.copy()
+        for v in b:
+            ref_b.eliminate(v)
+        assert ga == ref_a
+        assert gb == ref_b
+
+    def test_original_graph_untouched(self):
+        g = grid_graph(3)
+        reference = g.copy()
+        replayer = GraphReplayer(g)
+        replayer.move_to(g.vertex_list()[:5])
+        assert g == reference
+
+    def test_many_random_jumps(self):
+        import random
+
+        g = random_gnm_graph(10, 20, seed=5)
+        vertices = g.vertex_list()
+        rng = random.Random(0)
+        replayer = GraphReplayer(g)
+        for _ in range(25):
+            k = rng.randint(0, 8)
+            ordering = rng.sample(vertices, k)
+            got = replayer.move_to(ordering)
+            ref = g.copy()
+            for v in ordering:
+                ref.eliminate(v)
+            assert got == ref

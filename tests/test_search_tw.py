@@ -1,0 +1,169 @@
+"""Tests for A*-tw and BB-tw — exactness, anytime bounds, budgets."""
+
+import pytest
+
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    myciel_graph,
+    path_graph,
+    queen_graph,
+    random_gnm_graph,
+)
+from repro.search import (
+    SearchBudget,
+    astar_treewidth,
+    branch_and_bound_treewidth,
+    brute_force_treewidth,
+)
+from repro.decomposition import ordering_width
+
+
+SOLVERS = [astar_treewidth, branch_and_bound_treewidth]
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestExactness:
+    def test_trivial_graphs(self, solver):
+        assert solver(Graph()).width == 0
+        assert solver(Graph(vertices=[1])).width == 0
+
+    def test_path(self, solver, path6):
+        result = solver(path6)
+        assert result.exact and result.width == 1
+
+    def test_cycle(self, solver, cycle5):
+        result = solver(cycle5)
+        assert result.exact and result.width == 2
+
+    def test_complete(self, solver):
+        result = solver(complete_graph(7))
+        assert result.exact and result.width == 6
+
+    def test_grid4(self, solver, grid4):
+        result = solver(grid4)
+        assert result.exact and result.width == 4
+
+    def test_grid5(self, solver):
+        result = solver(grid_graph(5))
+        assert result.exact and result.width == 5
+
+    def test_myciel3(self, solver):
+        result = solver(myciel_graph(3))
+        assert result.exact and result.width == 5
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_match_brute_force(self, solver, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 9)
+        m = rng.randint(0, n * (n - 1) // 2)
+        g = random_gnm_graph(n, m, seed=seed + 300)
+        result = solver(g)
+        assert result.exact
+        assert result.width == brute_force_treewidth(g)
+
+    def test_witness_ordering_achieves_width(self, solver, grid4):
+        result = solver(grid4)
+        assert ordering_width(grid4, result.ordering) <= result.width
+
+    def test_hypergraph_input(self, solver, example_hypergraph):
+        result = solver(example_hypergraph)
+        assert result.exact
+        primal = example_hypergraph.primal_graph()
+        assert result.width == brute_force_treewidth(primal)
+
+    def test_disconnected(self, solver):
+        g = Graph.from_edges([(1, 2), (2, 3), (1, 3), (10, 11)])
+        result = solver(g)
+        assert result.exact and result.width == 2
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestAblationFlags:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_without_reductions(self, solver, seed):
+        g = random_gnm_graph(7, 12, seed=seed + 400)
+        expected = brute_force_treewidth(g)
+        result = solver(g, use_reductions=False)
+        assert result.exact and result.width == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_without_pr2(self, solver, seed):
+        g = random_gnm_graph(7, 12, seed=seed + 500)
+        expected = brute_force_treewidth(g)
+        result = solver(g, use_pr2=False)
+        assert result.exact and result.width == expected
+
+    def test_child_lower_bound_variants(self, solver, grid4):
+        for name in ("mmw", "both", "none"):
+            result = solver(grid4, child_lower_bound=name)
+            assert result.exact and result.width == 4
+
+    def test_unknown_lower_bound_rejected(self, solver, grid4):
+        with pytest.raises(ValueError):
+            solver(grid4, child_lower_bound="bogus")
+
+
+class TestBudgets:
+    def test_astar_budget_gives_bounds(self):
+        g = queen_graph(6)  # treewidth 25, too hard for 50 nodes
+        result = astar_treewidth(g, budget=SearchBudget(max_nodes=50))
+        assert result.lower_bound <= 25 <= result.upper_bound
+        assert result.stats.budget_exhausted or result.exact
+
+    def test_bb_budget_gives_bounds(self):
+        g = queen_graph(6)
+        result = branch_and_bound_treewidth(
+            g, budget=SearchBudget(max_nodes=50)
+        )
+        assert result.lower_bound <= 25 <= result.upper_bound
+
+    def test_astar_anytime_lower_bound_improves(self):
+        """§5.3: interrupted A* reports a nontrivial lower bound."""
+        g = queen_graph(6)
+        small = astar_treewidth(g, budget=SearchBudget(max_nodes=5))
+        large = astar_treewidth(g, budget=SearchBudget(max_nodes=400))
+        assert large.lower_bound >= small.lower_bound
+
+    def test_budget_zero_nodes_still_returns(self):
+        g = queen_graph(5)
+        result = astar_treewidth(g, budget=SearchBudget(max_nodes=0))
+        assert result.upper_bound >= result.lower_bound
+
+    def test_stats_populated(self, grid4):
+        result = astar_treewidth(grid_graph(5))
+        assert result.stats.nodes_expanded > 0
+        assert result.stats.elapsed_seconds >= 0
+
+
+class TestMemoization:
+    """The transposition-table extension to A*-tw."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_memoized_matches_brute_force(self, seed):
+        g = random_gnm_graph(8, 14, seed=seed + 600)
+        result = astar_treewidth(g, memoize=True)
+        assert result.exact
+        assert result.width == brute_force_treewidth(g)
+
+    def test_memoization_never_expands_more(self):
+        g = queen_graph(5)
+        base = astar_treewidth(g)
+        memo = astar_treewidth(g, memoize=True)
+        assert memo.width == base.width == 18
+        assert memo.stats.nodes_expanded <= base.stats.nodes_expanded
+
+
+class TestKnownInstances:
+    def test_queen5_exact_18(self):
+        result = astar_treewidth(queen_graph(5))
+        assert result.exact and result.width == 18
+
+    def test_grid_treewidth_equals_n(self):
+        for n in (2, 3, 4, 5):
+            result = astar_treewidth(grid_graph(n))
+            assert result.exact and result.width == n, n

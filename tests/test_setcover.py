@@ -1,0 +1,155 @@
+"""Tests for greedy/exact set cover and the k-set-cover bounds."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import random_hypergraph
+from repro.setcover import (
+    SetCoverError,
+    UNCOVERABLE,
+    cover_lower_bound,
+    exact_set_cover,
+    greedy_set_cover,
+    ksc_lower_bound,
+    ksc_overlap_lower_bound,
+    set_cover_size,
+)
+
+
+def brute_force_cover_size(bag, hypergraph):
+    """Minimum cover size by exhaustive subset search."""
+    bag = frozenset(bag)
+    if not bag:
+        return 0
+    names = list(hypergraph.edges)
+    edges = hypergraph.edges
+    for size in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            union = frozenset().union(*(edges[n] for n in combo))
+            if bag <= union:
+                return size
+    raise AssertionError("bag is uncoverable")
+
+
+class TestGreedy:
+    def test_covers_bag(self, example_hypergraph):
+        cover = greedy_set_cover({"x1", "x4"}, example_hypergraph)
+        union = frozenset().union(
+            *(example_hypergraph.edge(n) for n in cover)
+        )
+        assert {"x1", "x4"} <= union
+
+    def test_empty_bag(self, example_hypergraph):
+        assert greedy_set_cover(set(), example_hypergraph) == []
+
+    def test_uncoverable_raises(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        with pytest.raises(SetCoverError):
+            greedy_set_cover({2}, h)
+
+    def test_deterministic_without_rng(self, adder5):
+        bag = set(list(adder5.vertex_list())[:6])
+        assert greedy_set_cover(bag, adder5) == greedy_set_cover(bag, adder5)
+
+    def test_rng_tie_breaking_still_covers(self, adder5):
+        bag = set(list(adder5.vertex_list())[:8])
+        rng = random.Random(3)
+        cover = greedy_set_cover(bag, adder5, rng)
+        union = frozenset().union(*(adder5.edge(n) for n in cover))
+        assert bag <= union
+
+    def test_greedy_picks_largest_first(self):
+        h = Hypergraph(edges={"big": {1, 2, 3, 4}, "s1": {1, 2}, "s2": {3, 4}})
+        assert greedy_set_cover({1, 2, 3, 4}, h) == ["big"]
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        h = random_hypergraph(8, 7, seed=seed, min_arity=1, max_arity=4)
+        rng = random.Random(seed)
+        covered = set().union(*h.edges.values())
+        bag = {v for v in covered if rng.random() < 0.6}
+        assert set_cover_size(bag, h) == brute_force_cover_size(bag, h)
+
+    def test_exact_at_most_greedy(self, adder5):
+        for k in (4, 8, 12):
+            bag = set(list(adder5.vertex_list())[:k])
+            assert len(exact_set_cover(bag, adder5)) <= len(
+                greedy_set_cover(bag, adder5)
+            )
+
+    def test_classic_greedy_trap(self):
+        """The instance where greedy uses 3 sets but optimum is 2."""
+        h = Hypergraph(
+            edges={
+                "top": {1, 2, 3, 4},
+                "bottom": {5, 6, 7, 8},
+                "middle": {3, 4, 5, 6, 9},  # largest, greedy grabs it
+            }
+        )
+        bag = {1, 2, 3, 4, 5, 6, 7, 8}
+        assert len(exact_set_cover(bag, h)) == 2
+
+    def test_cover_actually_covers(self, example_hypergraph):
+        bag = {"x1", "x2", "x4", "x6"}
+        cover = exact_set_cover(bag, example_hypergraph)
+        union = frozenset().union(
+            *(example_hypergraph.edge(n) for n in cover)
+        )
+        assert bag <= union
+
+    def test_empty_bag(self, example_hypergraph):
+        assert exact_set_cover(set(), example_hypergraph) == []
+
+    def test_uncoverable_raises(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        with pytest.raises(SetCoverError):
+            exact_set_cover({1, 2}, h)
+
+    def test_forced_edge_reduction(self):
+        h = Hypergraph(edges={"only": {1, 9}, "other": {2, 3}})
+        cover = exact_set_cover({1, 2}, h)
+        assert set(cover) == {"only", "other"}
+
+
+class TestKscBounds:
+    def test_cardinality_bound(self):
+        assert ksc_lower_bound(10, 3) == 4
+        assert ksc_lower_bound(9, 3) == 3
+        assert ksc_lower_bound(0, 3) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ksc_lower_bound(5, 0)
+
+    def test_overlap_bound_dominates(self):
+        # 10 elements, sets of size 4 pairwise sharing >= 2: each new set
+        # adds <= 2 -> need 1 + ceil(6/2) = 4 > ceil(10/4) = 3.
+        assert ksc_overlap_lower_bound(10, 4, 2) == 4
+        assert ksc_lower_bound(10, 4) == 3
+
+    def test_overlap_zero_equals_cardinality(self):
+        assert ksc_overlap_lower_bound(10, 4, 0) == ksc_lower_bound(10, 4)
+
+    def test_cover_lower_bound_sound(self, adder5):
+        """The instance-aware bound never exceeds the true cover size."""
+        rng = random.Random(0)
+        vertices = adder5.vertex_list()
+        for _ in range(12):
+            bag = {v for v in vertices if rng.random() < 0.3}
+            if not bag:
+                continue
+            lb = cover_lower_bound(bag, adder5)
+            true = set_cover_size(bag, adder5)
+            assert lb <= true
+
+    def test_cover_lower_bound_uncoverable(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        assert cover_lower_bound({2}, h) == UNCOVERABLE
+
+    def test_cover_lower_bound_empty(self, adder5):
+        assert cover_lower_bound(set(), adder5) == 0
