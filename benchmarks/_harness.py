@@ -13,6 +13,7 @@ Budgets are controlled by the REPRO_BENCH_SCALE environment variable
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from collections.abc import Sequence
@@ -55,12 +56,29 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
-def report(name: str, title: str, headers, rows) -> str:
-    """Print the table and persist it under benchmarks/results/."""
+def report(name: str, title: str, headers, rows, extra: dict | None = None) -> str:
+    """Print the table and persist it under benchmarks/results/.
+
+    Writes both a plain-text table (``<name>.txt``) and a
+    machine-readable ``<name>.json`` with the raw rows; ``extra`` merges
+    additional top-level keys (e.g. summary statistics) into the JSON.
+    """
     text = format_table(title, headers, rows)
     print("\n" + text + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "title": title,
+        "scale": scale(),
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    if extra:
+        payload.update(extra)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
     return text
 
 

@@ -18,17 +18,19 @@ from __future__ import annotations
 
 import random
 
+from ..hypergraph.bitgraph import BitGraph, as_bitgraph
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
 
-
-def _as_graph(structure: Graph | Hypergraph) -> Graph:
-    if isinstance(structure, Hypergraph):
-        return structure.primal_graph()
-    return structure.copy()
+_Kernel = Graph | BitGraph
 
 
-def _min_degree_pick(graph: Graph, rng: random.Random | None) -> Vertex:
+def _as_graph(structure: _Kernel | Hypergraph) -> BitGraph:
+    """Scratch copy on the bitset kernel (degree/contract hot loops)."""
+    return as_bitgraph(structure)
+
+
+def _min_degree_pick(graph: _Kernel, rng: random.Random | None) -> Vertex:
     best_degree: int | None = None
     best: list[Vertex] = []
     for vertex in graph.vertex_list():
@@ -44,19 +46,20 @@ def _min_degree_pick(graph: Graph, rng: random.Random | None) -> Vertex:
 
 
 def _least_degree_neighbor(
-    graph: Graph, vertex: Vertex, rng: random.Random | None
+    graph: _Kernel, vertex: Vertex, rng: random.Random | None
 ) -> Vertex | None:
     nbrs = graph.neighbors(vertex)
     if not nbrs:
         return None
-    best_degree = min(graph.degree(u) for u in nbrs)
-    best = [u for u in nbrs if graph.degree(u) == best_degree]
+    degrees = {u: graph.degree(u) for u in nbrs}
+    best_degree = min(degrees.values())
+    best = [u for u in nbrs if degrees[u] == best_degree]
     if rng is not None and len(best) > 1:
         return best[rng.randrange(len(best))]
     return min(best, key=repr)
 
 
-def degeneracy_lower_bound(structure: Graph | Hypergraph) -> int:
+def degeneracy_lower_bound(structure: _Kernel | Hypergraph) -> int:
     """MMD: max over the removal sequence of the minimum degree."""
     graph = _as_graph(structure)
     bound = 0
@@ -67,7 +70,7 @@ def degeneracy_lower_bound(structure: Graph | Hypergraph) -> int:
     return bound
 
 
-def gamma_r(graph: Graph) -> int:
+def gamma_r(graph: _Kernel) -> int:
     """The Ramachandramurthi γ_R parameter of a graph.
 
     γ_R is ``n - 1`` for complete graphs and otherwise the minimum over
@@ -96,12 +99,111 @@ def gamma_r(graph: Graph) -> int:
 
 
 def minor_min_width(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> int:
     """Algorithm *minor-min-width* (Fig. 4.7): contract the edge between a
     minimum-degree vertex and its least-degree neighbor, tracking the
-    maximum minimum degree seen."""
+    maximum minimum degree seen.
+
+    This is the A*/BB heuristic, evaluated once per search node, so the
+    deterministic path runs directly on a mask snapshot of the bitset
+    kernel (degrees are popcounts, contraction a handful of word ops).
+    The randomized path keeps the reference per-vertex loop, whose
+    tie-list order matches ``vertex_list``.
+    """
     graph = _as_graph(structure)
+    if rng is not None:
+        return _minor_min_width_generic(graph, rng)
+    _, labels, adj = graph.adjacency_masks()
+    present = graph.present_mask
+    remaining = present.bit_count()
+    # Degrees are maintained incrementally across contractions (masks are
+    # allowed to go stale on removed bits; `& present` filters them where
+    # it matters), so each selection round is an array scan, not a
+    # popcount per vertex.
+    degs = [0] * len(adj)
+    m = present
+    while m:
+        low = m & -m
+        m ^= low
+        u = low.bit_length() - 1
+        degs[u] = adj[u].bit_count()
+    bound = 0
+    while present:
+        # Every later minimum degree is <= remaining - 1, so once that
+        # can't beat the bound the loop is done (value-preserving).
+        if remaining - 1 <= bound:
+            break
+        # Minimum-degree vertex; ties by repr as in _min_degree_pick.
+        best_u = -1
+        best_d = -1
+        ties: list[int] | None = None
+        m = present
+        while m:
+            low = m & -m
+            m ^= low
+            u = low.bit_length() - 1
+            d = degs[u]
+            if best_d < 0 or d < best_d:
+                best_d = d
+                best_u = u
+                ties = None
+            elif d == best_d:
+                if ties is None:
+                    ties = [best_u]
+                ties.append(u)
+        if ties is not None:
+            best_u = min(ties, key=lambda b: repr(labels[b]))
+        if best_d > bound:
+            bound = best_d
+        vbit = 1 << best_u
+        nbrs = adj[best_u] & present
+        remaining -= 1
+        if not nbrs:
+            present ^= vbit
+            continue
+        # Least-degree neighbor; ties by repr as in _least_degree_neighbor.
+        best_n = -1
+        best_nd = -1
+        nties: list[int] | None = None
+        m = nbrs
+        while m:
+            low = m & -m
+            m ^= low
+            u = low.bit_length() - 1
+            d = degs[u]
+            if best_nd < 0 or d < best_nd:
+                best_nd = d
+                best_n = u
+                nties = None
+            elif d == best_nd:
+                if nties is None:
+                    nties = [best_n]
+                nties.append(u)
+        if nties is not None:
+            best_n = min(nties, key=lambda b: repr(labels[b]))
+        # contract_edge(neighbor, vertex): merge vertex into neighbor.
+        # v's other neighbors swap v for n: degree drops only for those
+        # already adjacent to n.
+        nbit = 1 << best_n
+        gained = nbrs & ~nbit
+        m = gained
+        while m:
+            low = m & -m
+            m ^= low
+            w = low.bit_length() - 1
+            if adj[w] & nbit:
+                degs[w] -= 1
+            else:
+                adj[w] |= nbit
+        adj[best_n] = (adj[best_n] | gained) & ~(vbit | nbit)
+        present ^= vbit
+        degs[best_n] = (adj[best_n] & present).bit_count()
+    return bound
+
+
+def _minor_min_width_generic(graph: _Kernel, rng: random.Random) -> int:
+    """Reference minor-min-width over the kernel API (randomized ties)."""
     bound = 0
     while len(graph) > 0:
         vertex = _min_degree_pick(graph, rng)
@@ -115,7 +217,7 @@ def minor_min_width(
 
 
 def minor_gamma_r(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> int:
     """Algorithm *minor-γ_R* (Fig. 4.8): evaluate γ_R along the same
     contraction sequence and keep the maximum."""
@@ -133,7 +235,7 @@ def minor_gamma_r(
 
 
 def treewidth_lower_bound(
-    structure: Graph | Hypergraph,
+    structure: _Kernel | Hypergraph,
     rng: random.Random | None = None,
     runs: int = 1,
 ) -> int:

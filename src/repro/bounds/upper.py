@@ -21,19 +21,21 @@ import random
 from collections.abc import Callable, Sequence
 
 from ..decomposition.elimination import ordering_width
+from ..hypergraph.bitgraph import BitGraph, as_bitgraph
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
 
+_Kernel = Graph | BitGraph
 
-def _as_graph(structure: Graph | Hypergraph) -> Graph:
-    if isinstance(structure, Hypergraph):
-        return structure.primal_graph()
-    return structure.copy()
+
+def _as_graph(structure: _Kernel | Hypergraph) -> BitGraph:
+    """Scratch copy on the bitset kernel (fill-count hot loops)."""
+    return as_bitgraph(structure)
 
 
 def _pick(
-    graph: Graph,
-    score: Callable[[Graph, Vertex], int],
+    graph: _Kernel,
+    score: Callable[[_Kernel, Vertex], int],
     rng: random.Random | None,
 ) -> Vertex:
     best_score: int | None = None
@@ -50,42 +52,83 @@ def _pick(
     return min(best, key=repr)
 
 
+def _mask_fill_count(adj: list[int], b: int) -> int:
+    """Fill-in count of bit ``b`` over clean adjacency rows."""
+    m = adj[b]
+    missing = 0
+    while m:
+        low = m & -m
+        m ^= low            # only higher-indexed partners remain
+        missing += (m & ~adj[low.bit_length() - 1]).bit_count()
+    return missing
+
+
 def min_fill_ordering(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> list[Vertex]:
     """The min-fill elimination ordering (thesis §4.4.2).
 
     Fill-in counts are maintained incrementally: eliminating ``v`` only
     changes the count of vertices whose neighborhood or neighborhood
     adjacency changed — v's neighbors, fill-edge endpoints, and common
-    neighbors of fill-edge endpoints.
+    neighbors of fill-edge endpoints.  The whole loop runs on a local
+    mask snapshot of the bitset kernel: the ordering needs no undo log,
+    so elimination is a plain in-place clique-and-clear on the rows.
     """
     graph = _as_graph(structure)
-    fill = {v: graph.fill_in_count(v) for v in graph.vertex_list()}
+    _, labels, adj = graph.adjacency_masks()
+    # Bit-keyed, in vertex_list order, so rng tie candidates enumerate
+    # exactly as the reference vertex-keyed dict would.
+    fill = {b: _mask_fill_count(adj, b) for _, b in graph.vertex_bit_items()}
     ordering: list[Vertex] = []
-    while len(graph) > 0:
+    while fill:
         best_fill = min(fill.values())
-        candidates = [v for v, f in fill.items() if f == best_fill]
+        candidates = [b for b, f in fill.items() if f == best_fill]
         if rng is not None and len(candidates) > 1:
-            vertex = candidates[rng.randrange(len(candidates))]
+            vb = candidates[rng.randrange(len(candidates))]
         else:
-            vertex = min(candidates, key=repr)
-        ordering.append(vertex)
-        affected = graph.neighbors(vertex)
-        record = graph.eliminate(vertex)
-        for a, b in record.fill_edges:
-            affected.add(a)
-            affected.add(b)
-            affected |= graph.neighbors(a) & graph.neighbors(b)
-        del fill[vertex]
-        for u in affected:
+            vb = min(candidates, key=lambda b: repr(labels[b]))
+        ordering.append(labels[vb])
+        del fill[vb]
+        # Eliminate vb: clique the neighborhood, recording fill pairs.
+        nbrs = adj[vb]
+        fill_pairs = []
+        m = nbrs
+        while m:
+            low = m & -m
+            m ^= low
+            u = low.bit_length() - 1
+            missing = m & ~adj[u]
+            while missing:
+                wlow = missing & -missing
+                missing ^= wlow
+                w = wlow.bit_length() - 1
+                adj[u] |= wlow
+                adj[w] |= low
+                fill_pairs.append((u, w))
+        # Remove vb from the rows, then collect the affected set.
+        clear = ~(1 << vb)
+        m = nbrs
+        while m:
+            low = m & -m
+            m ^= low
+            adj[low.bit_length() - 1] &= clear
+        adj[vb] = 0
+        affected = nbrs
+        for u, w in fill_pairs:
+            affected |= adj[u] & adj[w]
+            affected |= (1 << u) | (1 << w)
+        while affected:
+            low = affected & -affected
+            affected ^= low
+            u = low.bit_length() - 1
             if u in fill:
-                fill[u] = graph.fill_in_count(u)
+                fill[u] = _mask_fill_count(adj, u)
     return ordering
 
 
 def min_degree_ordering(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> list[Vertex]:
     """The min-degree elimination ordering."""
     graph = _as_graph(structure)
@@ -98,7 +141,7 @@ def min_degree_ordering(
 
 
 def min_width_ordering(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> list[Vertex]:
     """The min-width (degeneracy) ordering: remove, never fill."""
     graph = _as_graph(structure)
@@ -111,7 +154,7 @@ def min_width_ordering(
 
 
 def best_heuristic_ordering(
-    structure: Graph | Hypergraph,
+    structure: _Kernel | Hypergraph,
     rng: random.Random | None = None,
     heuristics: Sequence[Callable] = (
         min_fill_ordering,
@@ -134,7 +177,7 @@ def best_heuristic_ordering(
 
 
 def treewidth_upper_bound(
-    structure: Graph | Hypergraph, rng: random.Random | None = None
+    structure: _Kernel | Hypergraph, rng: random.Random | None = None
 ) -> int:
     """Width of the best heuristic ordering — an upper bound on tw."""
     return best_heuristic_ordering(structure, rng)[1]

@@ -6,6 +6,11 @@ from the ordering by bucket elimination plus greedy set covering of every
 bag (Fig. 7.1 + Fig. 7.2).  Greedy covers make the fitness an upper bound
 on ``width(σ, H)`` — cheap and good enough for evolution; the final best
 ordering can be re-scored with exact covers for a tighter reported bound.
+
+The hot fitness path runs on bitmask kernels end to end: bags come from
+the :class:`~repro.decomposition.elimination.OrderingEvaluator` (bitset
+adjacency), and the greedy covers use the hypergraph's cached incidence
+index (per-edge vertex bitmasks) for popcount gain computation.
 """
 
 from __future__ import annotations

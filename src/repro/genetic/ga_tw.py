@@ -5,6 +5,11 @@ width of the tree decomposition bucket elimination builds from it
 (Fig. 6.2 — computed by :func:`repro.decomposition.ordering_width` in
 O(|V| + |E'|)).  Applied to a hypergraph the GA runs on the primal graph
 (Lemma 1 makes the bound valid for the hypergraph too).
+
+Fitness evaluation runs on the bitset kernel: the shared
+:class:`~repro.decomposition.elimination.OrderingEvaluator` snapshots the
+primal adjacency as per-vertex bitmasks once, so each of the thousands of
+width evaluations per run is a loop over machine-word operations.
 """
 
 from __future__ import annotations

@@ -2,16 +2,22 @@
 
 Public surface:
 
-* :class:`Graph` — mutable undirected graph with reversible elimination.
-* :class:`Hypergraph` — named hyperedges, primal/dual views.
+* :class:`Graph` — mutable undirected graph with reversible elimination
+  (the reference kernel).
+* :class:`BitGraph` / :func:`as_bitgraph` — the bitset performance kernel
+  with the same observable semantics (see DESIGN.md, "Performance
+  kernel").
+* :class:`Hypergraph` — named hyperedges, primal/dual views, interned
+  bitmask incidence index.
 * :mod:`repro.hypergraph.generators` — exact instance families and seeded
   stand-ins for the thesis benchmarks.
 * :mod:`repro.hypergraph.io` — DIMACS / hypergraph-library parsing.
 """
 
 from .acyclicity import gyo_reduction, is_alpha_acyclic
+from .bitgraph import BitGraph, as_bitgraph
 from .graph import EliminationRecord, Graph, GraphError, Vertex
-from .hypergraph import Hypergraph, HypergraphError
+from .hypergraph import Hypergraph, HypergraphError, IncidenceIndex
 from .io import (
     FormatError,
     parse_dimacs,
@@ -24,13 +30,16 @@ from .io import (
 )
 
 __all__ = [
+    "BitGraph",
     "EliminationRecord",
     "FormatError",
     "Graph",
     "GraphError",
     "Hypergraph",
     "HypergraphError",
+    "IncidenceIndex",
     "Vertex",
+    "as_bitgraph",
     "gyo_reduction",
     "is_alpha_acyclic",
     "parse_dimacs",

@@ -304,11 +304,12 @@ class Graph:
         handled by :meth:`is_simplicial` first).
         """
         nbrs = list(self._neighbors(vertex))
+        if self.is_clique(nbrs):
+            return None  # simplicial: no single odd-one-out exists
         for skipped in nbrs:
             rest = [u for u in nbrs if u != skipped]
             if self.is_clique(rest):
-                if not self.is_clique(nbrs):
-                    return skipped
+                return skipped
         return None
 
     def connected_components(self) -> list[set]:

@@ -12,12 +12,55 @@ stably; unnamed edges are auto-named ``e0, e1, ...`` in insertion order.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass
 
 from .graph import Graph, Vertex
 
 
 class HypergraphError(Exception):
     """Raised on invalid hypergraph operations."""
+
+
+@dataclass(frozen=True)
+class IncidenceIndex:
+    """Interned bitmask view of a hypergraph's incidence structure.
+
+    Vertices and hyperedge names are assigned bit positions; the index
+    exposes, per vertex, the bitmask of edges containing it and, per
+    edge, the bitmask of its member vertices.  Set-cover gains then
+    become single popcounts (``(edge_mask & uncovered).bit_count()``) —
+    the hot path of GA-ghw's greedy covers.
+
+    The index is a frozen snapshot: it is built lazily by
+    :meth:`Hypergraph.incidence_index` and invalidated (rebuilt on next
+    request) whenever the hypergraph mutates.
+    """
+
+    vertex_bit: dict      # vertex -> bit position (vertex space)
+    vertex_labels: list   # bit position -> vertex
+    edge_bit: dict        # edge name -> bit position (edge space)
+    edge_labels: list     # bit position -> edge name
+    vertex_edge_masks: dict  # vertex -> mask over edge space
+    edge_vertex_masks: dict  # edge name -> mask over vertex space
+
+    def vertices_mask(self, vertices: Iterable[Vertex]) -> int:
+        """OR of the vertex bits of ``vertices``."""
+        mask = 0
+        for v in vertices:
+            try:
+                mask |= 1 << self.vertex_bit[v]
+            except KeyError:
+                raise HypergraphError(f"unknown vertex: {v!r}") from None
+        return mask
+
+    def mask_to_vertices(self, mask: int) -> list:
+        """Vertex labels of the bits set in ``mask`` (ascending bits)."""
+        out = []
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            out.append(self.vertex_labels[low.bit_length() - 1])
+        return out
 
 
 class Hypergraph:
@@ -33,7 +76,7 @@ class Hypergraph:
         ['e1', 'e2']
     """
 
-    __slots__ = ("_vertices", "_edges", "_incidence")
+    __slots__ = ("_vertices", "_edges", "_incidence", "_index_cache")
 
     def __init__(
         self,
@@ -43,6 +86,7 @@ class Hypergraph:
         self._vertices: dict[Vertex, None] = {}  # insertion-ordered set
         self._edges: dict[Hashable, frozenset] = {}
         self._incidence: dict[Vertex, set] = {}  # vertex -> edge names
+        self._index_cache: IncidenceIndex | None = None  # lazy bitmask view
         for v in vertices:
             self.add_vertex(v)
         if edges:
@@ -82,6 +126,8 @@ class Hypergraph:
     # ------------------------------------------------------------------
 
     def add_vertex(self, vertex: Vertex) -> None:
+        if vertex not in self._vertices:
+            self._index_cache = None
         self._vertices.setdefault(vertex, None)
         self._incidence.setdefault(vertex, set())
 
@@ -89,6 +135,7 @@ class Hypergraph:
         self, members: Iterable[Vertex], name: Hashable | None = None
     ) -> Hashable:
         """Add a hyperedge over ``members``; returns the edge name."""
+        self._index_cache = None
         edge = frozenset(members)
         if not edge:
             raise HypergraphError("empty hyperedges are not allowed")
@@ -109,6 +156,7 @@ class Hypergraph:
             edge = self._edges.pop(name)
         except KeyError:
             raise HypergraphError(f"unknown hyperedge: {name!r}") from None
+        self._index_cache = None
         for v in edge:
             self._incidence[v].discard(name)
 
@@ -119,6 +167,7 @@ class Hypergraph:
         """
         if vertex not in self._vertices:
             raise HypergraphError(f"unknown vertex: {vertex!r}")
+        self._index_cache = None
         for name in list(self._incidence[vertex]):
             shrunk = self._edges[name] - {vertex}
             if shrunk:
@@ -169,6 +218,40 @@ class Hypergraph:
             return set(self._incidence[vertex])
         except KeyError:
             raise HypergraphError(f"unknown vertex: {vertex!r}") from None
+
+    def incidence_index(self) -> IncidenceIndex:
+        """The interned bitmask incidence view (see :class:`IncidenceIndex`).
+
+        Built lazily on first request and cached; any mutation
+        (``add_vertex``/``add_edge``/``remove_edge``/``remove_vertex``)
+        invalidates the cache, so callers may hold the returned snapshot
+        only as long as they do not mutate the hypergraph.
+        """
+        index = self._index_cache
+        if index is None:
+            vertex_labels = list(self._vertices)
+            vertex_bit = {v: i for i, v in enumerate(vertex_labels)}
+            edge_labels = list(self._edges)
+            edge_bit = {name: i for i, name in enumerate(edge_labels)}
+            edge_vertex_masks = {}
+            vertex_edge_masks = {v: 0 for v in vertex_labels}
+            for name, edge in self._edges.items():
+                mask = 0
+                ebit = 1 << edge_bit[name]
+                for v in edge:
+                    mask |= 1 << vertex_bit[v]
+                    vertex_edge_masks[v] |= ebit
+                edge_vertex_masks[name] = mask
+            index = IncidenceIndex(
+                vertex_bit=vertex_bit,
+                vertex_labels=vertex_labels,
+                edge_bit=edge_bit,
+                edge_labels=edge_labels,
+                vertex_edge_masks=vertex_edge_masks,
+                edge_vertex_masks=edge_vertex_masks,
+            )
+            self._index_cache = index
+        return index
 
     def __contains__(self, vertex: Vertex) -> bool:
         return vertex in self._vertices

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..bounds.lower import minor_gamma_r, minor_min_width
 from ..bounds.upper import best_heuristic_ordering
+from ..hypergraph.bitgraph import BitGraph, as_bitgraph
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
 from .common import (
@@ -36,8 +37,18 @@ from .common import (
     SearchResult,
     SearchStats,
 )
-from .pruning import default_precedes, pr1_effective_width, swap_equivalent
-from .reductions import find_reducible
+from .pruning import (
+    default_precedes,
+    pr1_effective_width,
+    pr2_allowed_bit,
+    pr2_rank,
+    swap_equivalent,
+)
+from .reductions import (
+    find_reducible,
+    find_simplicial,
+    find_strongly_almost_simplicial,
+)
 
 
 @dataclass(order=True)
@@ -56,6 +67,67 @@ class _State:
 
 LowerBoundName = str
 
+_NO_SAS = object()  # negative strongly-almost-simplicial cache entry
+
+
+class _KernelCaches:
+    """Per-run memoization for the bit kernel, keyed on the
+    remaining-vertex bitmask.
+
+    Partial orderings over the same vertex *set* leave the same residual
+    graph (elimination is order-independent on the filled result), so
+    the lower bound ``h`` and the reduction scan are shared across all
+    states — and all sibling subtrees — that reach the same mask.  The
+    strongly-almost-simplicial cache exploits that the scan is
+    degree-ascending: a positive answer ``(vertex, degree)`` is the
+    (degree, repr)-first almost-simplicial vertex, so it answers *every*
+    bound exactly (``vertex`` if ``degree <= bound`` else ``None``); a
+    negative answer is recorded with the bound it scanned up to and
+    covers every query at or below it.
+    """
+
+    __slots__ = ("h_fn", "h_cache", "simplicial", "sas", "rank")
+
+    def __init__(self, h_fn: Callable[[Graph], int], graph: BitGraph):
+        self.h_fn = h_fn
+        self.h_cache: dict[int, int] = {}
+        self.simplicial: dict[int, object] = {}
+        self.sas: dict[int, tuple | None] = {}
+        # PR 2 tie-break ranks, precomputed over the interned labels.
+        self.rank = pr2_rank(graph.adjacency_masks()[1])
+
+    def h(self, graph: BitGraph) -> int:
+        mask = graph.present_mask
+        h = self.h_cache.get(mask)
+        if h is None:
+            h = self.h_fn(graph)
+            self.h_cache[mask] = h
+        return h
+
+    def reducible(self, graph: BitGraph, bound: int):
+        mask = graph.present_mask
+        try:
+            vertex = self.simplicial[mask]
+        except KeyError:
+            vertex = find_simplicial(graph)
+            self.simplicial[mask] = vertex
+        if vertex is not None:
+            return vertex
+        entry = self.sas.get(mask)
+        if entry is not None:
+            cached, covered = entry
+            if cached is not _NO_SAS:
+                return cached if covered <= bound else None
+            if bound <= covered:
+                return None
+            # A larger bound than any scanned so far: scan again.
+        vertex = find_strongly_almost_simplicial(graph, bound)
+        if vertex is None:
+            self.sas[mask] = (_NO_SAS, bound)
+        else:
+            self.sas[mask] = (vertex, graph.degree(vertex))
+        return vertex
+
 
 def _child_lower_bound(name: LowerBoundName) -> Callable[[Graph], int]:
     """Resolve the per-child heuristic.  ``mmw`` is the default trade-off;
@@ -72,13 +144,14 @@ def _child_lower_bound(name: LowerBoundName) -> Callable[[Graph], int]:
 
 
 def astar_treewidth(
-    structure: Graph | Hypergraph,
+    structure: Graph | BitGraph | Hypergraph,
     budget: SearchBudget | None = None,
     rng: random.Random | None = None,
     use_reductions: bool = True,
     use_pr2: bool = True,
     child_lower_bound: LowerBoundName = "mmw",
     memoize: bool = False,
+    kernel: str = "bit",
 ) -> SearchResult:
     """Compute the treewidth of a graph (or of a hypergraph, via its
     primal graph — Lemma 1) with A*.
@@ -93,12 +166,25 @@ def astar_treewidth(
     be skipped — when the set was already expanded with a cost-so-far no
     larger than its own.  Exactness is preserved; memory grows with the
     number of distinct expanded sets.
+
+    ``kernel`` selects the graph backend: ``"bit"`` (default) runs on the
+    bitset kernel (:class:`BitGraph`) with a per-run lower-bound cache
+    keyed on the remaining-vertex bitmask — states whose partial
+    orderings eliminate the same vertex set share one residual graph and
+    therefore one ``h`` evaluation; ``"set"`` runs on the reference
+    :class:`Graph`.  Both kernels are observationally identical
+    (property-tested), so results do not depend on the choice.
     """
-    graph = (
-        structure.primal_graph()
-        if isinstance(structure, Hypergraph)
-        else structure.copy()
-    )
+    if kernel == "bit":
+        graph = as_bitgraph(structure)
+    elif kernel == "set":
+        graph = (
+            structure.primal_graph()
+            if isinstance(structure, Hypergraph)
+            else structure.copy()
+        )
+    else:
+        raise ValueError(f"unknown kernel {kernel!r} (use 'bit' or 'set')")
     stats = SearchStats()
     n = graph.num_vertices
     if n == 0:
@@ -117,7 +203,12 @@ def astar_treewidth(
     replayer = GraphReplayer(graph)
     counter = itertools.count()
 
-    root_children = _initial_children(graph, lb, use_reductions)
+    is_bit = isinstance(graph, BitGraph)
+    # h and reduction memoization over residual graphs (bit kernel only;
+    # the mask is an O(1) canonical key for the eliminated vertex set).
+    caches = _KernelCaches(h_fn, graph) if is_bit else None
+
+    root_children = _initial_children(graph, lb, use_reductions, caches)
     root = _State(
         f=lb,
         neg_depth=0,
@@ -129,7 +220,7 @@ def astar_treewidth(
     )
     queue: list[_State] = [root]
     best_lb = lb
-    expanded_sets: dict[frozenset, int] = {}
+    expanded_sets: dict = {}
 
     try:
         while queue:
@@ -137,7 +228,11 @@ def astar_treewidth(
             if state.f >= ub:
                 continue  # stale: ub improved since the push
             if memoize:
-                key = frozenset(state.ordering)
+                key = (
+                    graph.mask_of(state.ordering)
+                    if is_bit
+                    else frozenset(state.ordering)
+                )
                 dominated = expanded_sets.get(key)
                 if dominated is not None and dominated <= state.g:
                     continue  # same set reached before with cost <= ours
@@ -154,7 +249,7 @@ def astar_treewidth(
                 return SearchResult(state.g, state.g, ordering, True, stats)
             for child in _expand(
                 state, current, replayer, h_fn, counter,
-                use_reductions, use_pr2,
+                use_reductions, use_pr2, caches,
             ):
                 completion = pr1_effective_width(child.g, remaining - 1)
                 if completion < ub:
@@ -176,10 +271,16 @@ def astar_treewidth(
 
 
 def _initial_children(
-    graph: Graph, lower_bound: int, use_reductions: bool
+    graph: Graph | BitGraph,
+    lower_bound: int,
+    use_reductions: bool,
+    caches: _KernelCaches | None = None,
 ) -> tuple[tuple, bool]:
     if use_reductions:
-        forced = find_reducible(graph, lower_bound)
+        if caches is not None:
+            forced = caches.reducible(graph, lower_bound)
+        else:
+            forced = find_reducible(graph, lower_bound)
         if forced is not None:
             return (forced,), True
     return tuple(graph.vertex_list()), False
@@ -187,12 +288,13 @@ def _initial_children(
 
 def _expand(
     state: _State,
-    current: Graph,
+    current: Graph | BitGraph,
     replayer: GraphReplayer,
     h_fn: Callable[[Graph], int],
     counter,
     use_reductions: bool,
     use_pr2: bool,
+    caches: _KernelCaches | None = None,
 ) -> list[_State]:
     """Evaluate all children of ``state`` (graph positioned at its
     ordering on entry and on exit)."""
@@ -204,25 +306,31 @@ def _expand(
         degree = current.degree(vertex)
         # PR 2 candidates must be computed while `vertex` is present.
         if use_pr2 and not state.reduced:
-            allowed = tuple(
-                w
-                for w in current.vertex_list()
-                if w != vertex
-                and (
-                    not swap_equivalent(current, vertex, w)
-                    or default_precedes(vertex, w)
+            if caches is not None:
+                allowed = pr2_allowed_bit(current, vertex, caches.rank)
+            else:
+                allowed = tuple(
+                    w
+                    for w in current.vertex_list()
+                    if w != vertex
+                    and (
+                        not swap_equivalent(current, vertex, w)
+                        or default_precedes(vertex, w)
+                    )
                 )
-            )
         else:
             allowed = tuple(w for w in current.vertex_list() if w != vertex)
         record = current.eliminate(vertex)
         g = max(state.g, degree)
-        h = h_fn(current)
+        h = caches.h(current) if caches is not None else h_fn(current)
         f = max(g, h, state.f)
         reduced = False
         child_children = allowed
         if use_reductions:
-            forced = find_reducible(current, f)
+            if caches is not None:
+                forced = caches.reducible(current, f)
+            else:
+                forced = find_reducible(current, f)
             if forced is not None:
                 child_children = (forced,)
                 reduced = True

@@ -22,21 +22,28 @@ from collections.abc import Callable
 
 from ..bounds.lower import minor_gamma_r, minor_min_width
 from ..bounds.upper import best_heuristic_ordering
+from ..hypergraph.bitgraph import BitGraph, as_bitgraph
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
-from .astar_tw import _child_lower_bound
+from .astar_tw import _child_lower_bound, _KernelCaches
 from .common import BudgetExceeded, SearchBudget, SearchResult, SearchStats
-from .pruning import default_precedes, pr1_closes_subtree, swap_equivalent
+from .pruning import (
+    default_precedes,
+    pr1_closes_subtree,
+    pr2_allowed_bit,
+    swap_equivalent,
+)
 from .reductions import find_reducible
 
 
 def branch_and_bound_treewidth(
-    structure: Graph | Hypergraph,
+    structure: Graph | BitGraph | Hypergraph,
     budget: SearchBudget | None = None,
     rng: random.Random | None = None,
     use_reductions: bool = True,
     use_pr2: bool = True,
     child_lower_bound: str = "mmw",
+    kernel: str = "bit",
 ) -> SearchResult:
     """Exact treewidth by depth-first branch and bound.
 
@@ -44,12 +51,22 @@ def branch_and_bound_treewidth(
     lower bound reported is the smallest ``f`` of any unexplored cut
     branch (everything explored was either expanded or had f >= ub), or
     the initial heuristic bound if the search never completed a level.
+
+    ``kernel`` selects the graph backend as in
+    :func:`~repro.search.astar_tw.astar_treewidth`: ``"bit"`` (default)
+    runs on :class:`BitGraph` with the remaining-vertex-bitmask
+    lower-bound cache; ``"set"`` runs on the reference :class:`Graph`.
     """
-    graph = (
-        structure.primal_graph()
-        if isinstance(structure, Hypergraph)
-        else structure.copy()
-    )
+    if kernel == "bit":
+        graph = as_bitgraph(structure)
+    elif kernel == "set":
+        graph = (
+            structure.primal_graph()
+            if isinstance(structure, Hypergraph)
+            else structure.copy()
+        )
+    else:
+        raise ValueError(f"unknown kernel {kernel!r} (use 'bit' or 'set')")
     stats = SearchStats()
     n = graph.num_vertices
     all_vertices = graph.vertex_list()
@@ -71,7 +88,12 @@ def branch_and_bound_treewidth(
     search.ub = ub
     search.ub_ordering = list(ub_ordering)
     try:
-        forced = find_reducible(graph, lb) if use_reductions else None
+        if not use_reductions:
+            forced = None
+        elif search.caches is not None:
+            forced = search.caches.reducible(graph, lb)
+        else:
+            forced = find_reducible(graph, lb)
         roots = (forced,) if forced is not None else tuple(all_vertices)
         search.descend(prefix=[], g=0, f=lb, children=roots,
                        reduced=forced is not None)
@@ -89,7 +111,7 @@ class _DepthFirstSearch:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Graph | BitGraph,
         h_fn: Callable[[Graph], int],
         clock,
         stats: SearchStats,
@@ -106,6 +128,12 @@ class _DepthFirstSearch:
         self.all_vertices = all_vertices
         self.ub: int = len(all_vertices)
         self.ub_ordering: list[Vertex] = list(all_vertices)
+        # h / reduction memoization keyed on the remaining-vertex bitmask
+        # (bit kernel only): sibling subtrees that eliminate the same
+        # vertex set share a residual graph, hence one evaluation.
+        self.caches: _KernelCaches | None = (
+            _KernelCaches(h_fn, graph) if isinstance(graph, BitGraph) else None
+        )
 
     def descend(
         self,
@@ -135,28 +163,41 @@ class _DepthFirstSearch:
             if child_g >= self.ub:
                 continue
             if self.use_pr2 and not reduced:
-                allowed = tuple(
-                    w
-                    for w in self.graph.vertex_list()
-                    if w != vertex
-                    and (
-                        not swap_equivalent(self.graph, vertex, w)
-                        or default_precedes(vertex, w)
+                if self.caches is not None:
+                    allowed = pr2_allowed_bit(
+                        self.graph, vertex, self.caches.rank
                     )
-                )
+                else:
+                    allowed = tuple(
+                        w
+                        for w in self.graph.vertex_list()
+                        if w != vertex
+                        and (
+                            not swap_equivalent(self.graph, vertex, w)
+                            or default_precedes(vertex, w)
+                        )
+                    )
             else:
                 allowed = tuple(
                     w for w in self.graph.vertex_list() if w != vertex
                 )
             self.graph.eliminate(vertex)
             try:
-                h = self.h_fn(self.graph)
+                if self.caches is not None:
+                    h = self.caches.h(self.graph)
+                else:
+                    h = self.h_fn(self.graph)
                 child_f = max(child_g, h, f)
                 if child_f < self.ub:
                     child_reduced = False
                     child_children = allowed
                     if self.use_reductions:
-                        forced = find_reducible(self.graph, child_f)
+                        if self.caches is not None:
+                            forced = self.caches.reducible(
+                                self.graph, child_f
+                            )
+                        else:
+                            forced = find_reducible(self.graph, child_f)
                         if forced is not None:
                             child_children = (forced,)
                             child_reduced = True

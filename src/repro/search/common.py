@@ -12,6 +12,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph, Vertex
 
 
@@ -101,18 +102,22 @@ class GraphReplayer:
     ordering, restores back to the longest common prefix and eliminates
     forward (thesis §5.2.1's "common postfix" optimization, adjusted to
     our first-eliminated-first convention).
+
+    Works with either elimination kernel — the reference :class:`Graph`
+    or the bitset :class:`BitGraph` — since both expose the same
+    ``copy`` / ``eliminate`` / ``restore`` surface.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph | BitGraph):
         self._graph = graph.copy()
         self._applied: list[Vertex] = []
 
     @property
-    def graph(self) -> Graph:
+    def graph(self) -> Graph | BitGraph:
         """The live graph, positioned at the last requested state."""
         return self._graph
 
-    def move_to(self, ordering: Sequence[Vertex]) -> Graph:
+    def move_to(self, ordering: Sequence[Vertex]) -> Graph | BitGraph:
         """Reposition the graph to the state after eliminating
         ``ordering`` (in order) from the original graph."""
         common = 0

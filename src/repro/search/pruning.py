@@ -19,6 +19,7 @@
 
 from __future__ import annotations
 
+from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph, Vertex
 
 
@@ -33,7 +34,7 @@ def pr1_closes_subtree(partial_width: int, remaining: int) -> bool:
     return remaining - 1 <= partial_width
 
 
-def swap_equivalent(graph: Graph, v: Vertex, w: Vertex) -> bool:
+def swap_equivalent(graph: Graph | BitGraph, v: Vertex, w: Vertex) -> bool:
     """PR 2 test on the graph state in which both ``v`` and ``w`` are
     still present: may the consecutive eliminations ``v, w`` and ``w, v``
     be exchanged without affecting width or the resulting graph?
@@ -47,6 +48,12 @@ def swap_equivalent(graph: Graph, v: Vertex, w: Vertex) -> bool:
     """
     if not graph.has_edge(v, w):
         return True
+    if isinstance(graph, BitGraph):
+        nv = graph.neighbors_mask(v)
+        nw = graph.neighbors_mask(w)
+        bv = 1 << graph.bit(v)
+        bw = 1 << graph.bit(w)
+        return bool(nv & ~nw & ~bw) and bool(nw & ~nv & ~bv)
     nv = graph.neighbors(v)
     nw = graph.neighbors(w)
     v_private = nv - nw - {w}
@@ -75,3 +82,51 @@ def pr2_allows_child(graph_before_last: Graph, last: Vertex, child: Vertex,
 def default_precedes(a: Vertex, b: Vertex) -> bool:
     """The default total order used to pick the surviving PR 2 branch."""
     return (str(type(a)), repr(a)) < (str(type(b)), repr(b))
+
+
+def pr2_rank(labels: list) -> list[int]:
+    """Per-bit rank of :func:`default_precedes`' total order.
+
+    Bit indices are permanent, so the searches compute this once per run
+    and test ``rank[a] < rank[b]`` instead of building the string keys on
+    every sibling comparison.
+    """
+    order = sorted(
+        range(len(labels)),
+        key=lambda b: (str(type(labels[b])), repr(labels[b])),
+    )
+    rank = [0] * len(labels)
+    for i, b in enumerate(order):
+        rank[b] = i
+    return rank
+
+
+def pr2_allowed_bit(graph: BitGraph, vertex: Vertex,
+                    rank: list[int]) -> tuple:
+    """The PR 2 sibling filter on the bit kernel: the tuple of vertices
+    ``w`` (in ``vertex_list`` order) whose branch survives below
+    ``vertex`` — exactly the set the reference expression
+
+    ``tuple(w for w in vertex_list if w != v and
+    (not swap_equivalent(g, v, w) or default_precedes(v, w)))``
+
+    produces, with the adjacency/private tests inlined as mask ops."""
+    adj = graph.adjacency_rows
+    vb = graph.bit(vertex)
+    bv = 1 << vb
+    nv = adj[vb]
+    rv = rank[vb]
+    out = []
+    append = out.append
+    for w, wb in graph.vertex_bit_items():
+        if wb == vb:
+            continue
+        bw = 1 << wb
+        if nv & bw:
+            nw = adj[wb]
+            if not ((nv & ~nw & ~bw) and (nw & ~nv & ~bv)):
+                append(w)       # adjacent, no private neighbors: keep
+                continue
+        if rv < rank[wb]:
+            append(w)           # swap-equivalent: first in order survives
+    return tuple(out)

@@ -18,32 +18,56 @@ degree test against the ghw-appropriate bound.
 
 from __future__ import annotations
 
+from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph, Vertex
 
+_Kernel = Graph | BitGraph
 
-def find_simplicial(graph: Graph) -> Vertex | None:
+
+def find_simplicial(graph: _Kernel) -> Vertex | None:
     """A simplicial vertex of ``graph``, or ``None``.
 
     Scans vertices by increasing degree — low-degree vertices are cheap
     to check and most likely simplicial.
     """
-    for vertex in sorted(graph.vertex_list(), key=lambda v: (graph.degree(v), repr(v))):
+    degree = {v: graph.degree(v) for v in graph.vertex_list()}
+    for vertex in sorted(degree, key=lambda v: (degree[v], repr(v))):
         if graph.is_simplicial(vertex):
             return vertex
     return None
 
 
-def find_strongly_almost_simplicial(graph: Graph, lower_bound: int) -> Vertex | None:
+def find_strongly_almost_simplicial(
+    graph: _Kernel, lower_bound: int
+) -> Vertex | None:
     """An almost simplicial vertex of degree <= ``lower_bound``, or None."""
-    for vertex in sorted(graph.vertex_list(), key=lambda v: (graph.degree(v), repr(v))):
-        if graph.degree(vertex) > lower_bound:
+    degree = {v: graph.degree(v) for v in graph.vertex_list()}
+    for vertex in sorted(degree, key=lambda v: (degree[v], repr(v))):
+        if degree[vertex] > lower_bound:
             break  # degrees ascending: no later vertex qualifies
-        if graph.degree(vertex) >= 1 and graph.almost_simplicial_witness(vertex) is not None:
+        if degree[vertex] >= 1 and graph.almost_simplicial_witness(vertex) is not None:
             return vertex
     return None
 
 
-def find_reducible(graph: Graph, lower_bound: int) -> Vertex | None:
+def first_almost_simplicial(graph: _Kernel) -> tuple[Vertex, int] | None:
+    """The (degree, repr)-first almost simplicial vertex of positive
+    degree, with its degree — independent of any bound.
+
+    Because the scan is degree-ascending,
+    ``find_strongly_almost_simplicial(graph, bound)`` equals this vertex
+    when its degree is <= ``bound`` and ``None`` otherwise, which lets
+    the searches cache one bound-free answer per residual graph.
+    """
+    degree = {v: graph.degree(v) for v in graph.vertex_list()}
+    for vertex in sorted(degree, key=lambda v: (degree[v], repr(v))):
+        d = degree[vertex]
+        if d >= 1 and graph.almost_simplicial_witness(vertex) is not None:
+            return vertex, d
+    return None
+
+
+def find_reducible(graph: _Kernel, lower_bound: int) -> Vertex | None:
     """The next vertex forced by the reduction rules, or ``None``.
 
     Order matters for determinism only: simplicial vertices first, then
@@ -55,7 +79,7 @@ def find_reducible(graph: Graph, lower_bound: int) -> Vertex | None:
     return find_strongly_almost_simplicial(graph, lower_bound)
 
 
-def reduce_graph(graph: Graph, lower_bound: int) -> tuple[list[Vertex], int]:
+def reduce_graph(graph: _Kernel, lower_bound: int) -> tuple[list[Vertex], int]:
     """Exhaustively eliminate reducible vertices from ``graph`` in place.
 
     Returns ``(prefix, width)`` where ``prefix`` is the forced elimination

@@ -6,10 +6,13 @@ vertices.  The result is within a ln(n) factor of optimal and is the cover
 routine used inside GA-ghw's fitness and as the warm start of the exact
 solver.
 
-The implementation maintains per-candidate gain counters and decrements
-them as vertices become covered, so a full cover costs
-O(Σ_{v ∈ bag} #edges containing v) rather than rescanning every
-candidate per pick — this is the hot path of GA-ghw.
+The implementation runs on the hypergraph's interned bitmask incidence
+index (:meth:`Hypergraph.incidence_index`): the uncovered set is one
+integer, candidate edges are collected through the per-vertex incidence
+index (never rescanning all edges), and per-round gains are single
+popcounts of ``edge_mask & uncovered`` — this is the hot path of GA-ghw.
+Tie-breaking is unchanged from the set-based implementation: candidate
+order is first-seen order, deterministic ties break by name ``repr``.
 """
 
 from __future__ import annotations
@@ -43,48 +46,62 @@ def greedy_set_cover(
         raise SetCoverError(
             f"vertices {sorted(map(repr, missing))} occur in no hyperedge"
         )
-    # Candidate edges restricted to the bag, plus gain counters and a
-    # vertex -> candidates reverse index for incremental updates.
-    cuts: dict[Hashable, set] = {}
-    holders: dict = {}
+    index = hypergraph.incidence_index()
+    vertex_bit = index.vertex_bit
+    edge_vertex_masks = index.edge_vertex_masks
+    # Candidate edges restricted to the bag, in first-seen order (the
+    # tie-break order), plus the uncovered set as one bitmask.
+    uncovered_mask = 0
+    names: list[Hashable] = []
+    seen: set = set()
     for vertex in uncovered:
-        names = hypergraph.edges_containing(vertex)
-        if not names:
+        incident = hypergraph.edges_containing(vertex)
+        if not incident:
             raise SetCoverError(
                 f"vertices [{vertex!r}] occur in no hyperedge"
             )
-        holders[vertex] = names
-        for name in names:
-            cuts.setdefault(name, set()).add(vertex)
-    gains = {name: len(cut) for name, cut in cuts.items()}
+        uncovered_mask |= 1 << vertex_bit[vertex]
+        for name in incident:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    candidates: list[tuple[Hashable, int]] = [
+        (name, edge_vertex_masks[name]) for name in names
+    ]
 
     chosen: list[Hashable] = []
-    while uncovered:
-        best_gain = max(gains.values())
-        if rng is not None:
-            ties = [name for name, g in gains.items() if g == best_gain]
-            best = ties[rng.randrange(len(ties))] if len(ties) > 1 else ties[0]
-        else:
-            best = min(
-                (name for name, g in gains.items() if g == best_gain),
-                key=repr,
-            )
-        chosen.append(best)
-        covered_now = cuts[best] & uncovered
-        uncovered -= covered_now
-        for vertex in covered_now:
-            for name in holders[vertex]:
-                if name in gains:
-                    gains[name] -= 1
-        del gains[best]
-        # Drop exhausted candidates so max() stays cheap.
-        if not uncovered:
-            break
-        for name in [n for n, g in gains.items() if g <= 0]:
-            del gains[name]
-        if not gains:
+    while uncovered_mask:
+        best_gain = 0
+        gains: list[int] = []
+        for _, mask in candidates:
+            gain = (mask & uncovered_mask).bit_count()
+            gains.append(gain)
+            if gain > best_gain:
+                best_gain = gain
+        if best_gain == 0:
+            remaining = index.mask_to_vertices(uncovered_mask)
             raise SetCoverError(
-                f"vertices {sorted(map(repr, uncovered))} occur in no "
+                f"vertices {sorted(map(repr, remaining))} occur in no "
                 "hyperedge"
             )
+        if rng is not None:
+            ties = [i for i, g in enumerate(gains) if g == best_gain]
+            pick = ties[rng.randrange(len(ties))] if len(ties) > 1 else ties[0]
+        else:
+            pick = min(
+                (i for i, g in enumerate(gains) if g == best_gain),
+                key=lambda i: repr(candidates[i][0]),
+            )
+        name, mask = candidates[pick]
+        chosen.append(name)
+        uncovered_mask &= ~mask
+        if not uncovered_mask:
+            break
+        # Drop the chosen edge and exhausted candidates so the per-round
+        # scan stays proportional to the live candidate set.
+        candidates = [
+            entry
+            for i, entry in enumerate(candidates)
+            if i != pick and entry[1] & uncovered_mask
+        ]
     return chosen
