@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
 from collections.abc import Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -27,6 +28,39 @@ def scale() -> float:
         return max(0.05, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
     except ValueError:
         return 1.0
+
+
+def bench_seed() -> int:
+    """Global RNG seed for the benchmark runs (REPRO_BENCH_SEED)."""
+    try:
+        return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+    except ValueError:
+        return 0
+
+
+def git_sha() -> str:
+    """The repo's current commit (short SHA; 'unknown' outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    sha = out.stdout.strip()
+    if subprocess.run(
+        ["git", "diff", "--quiet", "HEAD"],
+        cwd=pathlib.Path(__file__).parent,
+        capture_output=True,
+        timeout=10,
+    ).returncode != 0:
+        sha += "-dirty"
+    return sha
 
 
 def format_table(
@@ -70,6 +104,8 @@ def report(name: str, title: str, headers, rows, extra: dict | None = None) -> s
     payload = {
         "name": name,
         "title": title,
+        "git_sha": git_sha(),
+        "seed": bench_seed(),
         "scale": scale(),
         "headers": list(headers),
         "rows": [list(row) for row in rows],

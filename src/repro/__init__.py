@@ -14,6 +14,7 @@ Top-level quick tour::
     from repro.decomposition import bucket_elimination, ghd_from_ordering
     from repro.search import astar_treewidth, branch_and_bound_ghw
     from repro.genetic import ga_treewidth, ga_ghw, saiga_ghw
+    from repro.portfolio import run_portfolio
     from repro.csp import CSP, solve
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
@@ -39,12 +40,14 @@ from .search import (
     branch_and_bound_treewidth,
 )
 from .genetic import GAParameters, ga_ghw, ga_treewidth, saiga_ghw
+from .portfolio import PortfolioResult, run_portfolio
 
 __version__ = "1.0.0"
 
 __all__ = [
     "GAParameters",
     "GeneralizedHypertreeDecomposition",
+    "PortfolioResult",
     "Graph",
     "Hypergraph",
     "SearchBudget",
@@ -60,6 +63,7 @@ __all__ = [
     "ghd_from_ordering",
     "ghw_ordering_width",
     "ordering_width",
+    "run_portfolio",
     "saiga_ghw",
     "vertex_elimination",
     "__version__",

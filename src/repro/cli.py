@@ -5,6 +5,7 @@ Usage::
 
     python -m repro tw   <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
+    python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
     python -m repro instances [--kind graph|hypergraph]
 
@@ -122,6 +123,62 @@ def cmd_hw(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_portfolio(args: argparse.Namespace) -> int:
+    from .portfolio import DEFAULT_BACKENDS, run_portfolio
+
+    structure = load_structure(args.instance)
+    metric = args.metric
+    if metric is None:
+        metric = "ghw" if isinstance(structure, Hypergraph) else "tw"
+    backends = None
+    if args.backends:
+        backends = [name.strip() for name in args.backends.split(",")]
+    result = run_portfolio(
+        structure,
+        backends=backends,
+        jobs=args.jobs,
+        budget_seconds=args.budget,
+        max_nodes=args.max_nodes,
+        seed=args.seed,
+        deterministic=args.deterministic,
+        metric=metric,
+    )
+    label = "treewidth" if result.metric == "tw" else "ghw"
+    names = backends or list(DEFAULT_BACKENDS[result.metric])
+    header = (
+        f"portfolio ({result.metric}, {len(names)} backends, "
+        f"{result.jobs} jobs{', deterministic' if result.deterministic else ''})"
+    )
+    if result.exact:
+        print(f"{header}: {label} = {result.upper_bound} "
+              f"(exact, certificate from {result.best_backend}, "
+              f"{result.elapsed_seconds:.2f}s)")
+    else:
+        print(f"{header}: {label} in "
+              f"[{result.lower_bound}, {result.upper_bound}] "
+              f"(best incumbent from {result.best_backend}, "
+              f"{result.elapsed_seconds:.2f}s)")
+    for name, report in result.reports.items():
+        if report.error is not None:
+            print(f"  {name:12s} error: {report.error}")
+            continue
+        lower = "-" if report.lower_bound is None else str(report.lower_bound)
+        flags = []
+        if report.exact:
+            flags.append("exact")
+        if report.stopped_by_bound:
+            flags.append("stopped-by-bound")
+        print(f"  {name:12s} ub={report.upper_bound} lb={lower} "
+              f"nodes={report.nodes} {report.elapsed_seconds:.2f}s"
+              f"{' (' + ', '.join(flags) + ')' if flags else ''}")
+    if args.timeline and result.events:
+        print("  bound timeline:")
+        for event in result.events:
+            print(f"    {event.at:7.3f}s {event.backend:12s} "
+                  f"{event.kind}={event.value}")
+    return 0
+
+
 def cmd_decompose(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     ordering = min_fill_ordering(structure)
@@ -181,6 +238,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-width", type=int, default=None,
                    help="give up beyond this width")
     p.set_defaults(func=cmd_hw)
+
+    p = sub.add_parser(
+        "portfolio",
+        help="race solver backends in parallel with shared incumbent bounds",
+    )
+    p.add_argument("instance", help="instance name or file path")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="concurrent worker processes (default 2)")
+    p.add_argument("--budget", type=float, default=30.0,
+                   help="per-backend time budget in seconds (default 30)")
+    p.add_argument("--max-nodes", type=int, default=None,
+                   help="per-backend node budget (default unlimited)")
+    p.add_argument("--backends", default=None,
+                   help="comma-separated backend names "
+                   "(default: full set for the metric)")
+    p.add_argument("--metric", choices=["tw", "ghw"], default=None,
+                   help="width metric (default: tw for graphs, "
+                   "ghw for hypergraphs)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deterministic", action="store_true",
+                   help="fixed seeds, node/generation budgets and ordered "
+                   "bound merging — bit-reproducible results")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the merged bound-event timeline")
+    p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("decompose",
                        help="emit a min-fill tree decomposition")

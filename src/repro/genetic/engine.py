@@ -19,6 +19,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..search.common import BoundHooks
 from .operators import CROSSOVER_OPERATORS, MUTATION_OPERATORS
 from .selection import tournament_selection
 
@@ -69,6 +70,7 @@ class GAResult:
     evaluations: int
     history: list[float] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    stopped_by_bound: bool = False
 
 
 def run_permutation_ga(
@@ -78,11 +80,19 @@ def run_permutation_ga(
     rng: random.Random,
     max_seconds: float | None = None,
     seed_individuals: Sequence[Sequence] | None = None,
+    hooks: BoundHooks | None = None,
 ) -> GAResult:
     """Evolve permutations of ``elements`` minimizing ``fitness``.
 
     ``seed_individuals`` lets callers inject heuristic orderings (e.g.
     min-fill) into the initial population; the rest is random.
+
+    ``hooks`` connects the run to an external incumbent channel
+    (portfolio mode), polled at generation boundaries: every strict
+    improvement of the best fitness is published as an upper bound, and
+    the run stops early — ``stopped_by_bound`` — once an externally
+    proven lower bound meets the best fitness (the bound cannot improve
+    further, so the remaining generations are wasted work).
     """
     parameters.validate()
     start = time.monotonic()
@@ -108,11 +118,19 @@ def run_permutation_ga(
     best_fitness = fitnesses[best_index]
     best_individual = list(population[best_index])
     history = [best_fitness]
+    if hooks is not None and hooks.publish_upper is not None:
+        hooks.publish_upper(int(best_fitness))
 
     generations_run = 0
+    stopped_by_bound = False
     for _generation in range(parameters.generations):
         if max_seconds is not None and time.monotonic() - start > max_seconds:
             break
+        if hooks is not None and hooks.poll_lower is not None:
+            external_lb = hooks.poll_lower()
+            if external_lb is not None and best_fitness <= external_lb:
+                stopped_by_bound = True
+                break
         generations_run += 1
         population = tournament_selection(
             population, fitnesses, parameters.tournament_size, rng
@@ -127,6 +145,8 @@ def run_permutation_ga(
         if fitnesses[gen_best] < best_fitness:
             best_fitness = fitnesses[gen_best]
             best_individual = list(population[gen_best])
+            if hooks is not None and hooks.publish_upper is not None:
+                hooks.publish_upper(int(best_fitness))
         history.append(best_fitness)
 
     return GAResult(
@@ -136,6 +156,7 @@ def run_permutation_ga(
         evaluations=evaluations,
         history=history,
         elapsed_seconds=time.monotonic() - start,
+        stopped_by_bound=stopped_by_bound,
     )
 
 

@@ -19,6 +19,7 @@ import random
 
 from ..decomposition.elimination import OrderingEvaluator, elimination_bags
 from ..hypergraph.hypergraph import Hypergraph
+from ..search.common import BoundHooks
 from ..setcover.exact import exact_set_cover
 from ..setcover.greedy import greedy_set_cover
 from .engine import GAParameters, GAResult, run_permutation_ga
@@ -61,6 +62,7 @@ def ga_ghw(
     max_seconds: float | None = None,
     rescore_exact: bool = True,
     seed_with_heuristics: bool = False,
+    hooks: "BoundHooks | None" = None,
 ) -> GAResult:
     """Run GA-ghw; ``result.best_fitness`` is a ghw upper bound and
     ``result.best_individual`` the witnessing ordering.
@@ -72,7 +74,10 @@ def ga_ghw(
     population — an extension beyond the thesis' fully random
     initialization (off by default for fidelity; it collapses the
     thesis' adder/bridge regressions because min-fill already finds the
-    structured optima there).
+    structured optima there).  ``hooks`` plugs the run into the
+    portfolio's shared incumbent channel (see :func:`ga_treewidth`);
+    published upper bounds use the greedy fitness, which is a valid ghw
+    upper bound throughout the run.
     """
     isolated = hypergraph.isolated_vertices()
     if isolated:
@@ -107,6 +112,7 @@ def ga_ghw(
         rng=generator,
         max_seconds=max_seconds,
         seed_individuals=seeds,
+        hooks=hooks,
     )
     if rescore_exact and result.best_individual:
         bags = elimination_bags(hypergraph, result.best_individual)
@@ -116,4 +122,6 @@ def ga_ghw(
         )
         if exact_width < result.best_fitness:
             result.best_fitness = exact_width
+            if hooks is not None and hooks.publish_upper is not None:
+                hooks.publish_upper(int(exact_width))
     return result

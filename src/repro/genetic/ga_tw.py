@@ -19,6 +19,7 @@ import random
 from ..decomposition.elimination import OrderingEvaluator
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
+from ..search.common import BoundHooks
 from .engine import GAParameters, GAResult, run_permutation_ga
 
 
@@ -28,6 +29,7 @@ def ga_treewidth(
     rng: random.Random | None = None,
     max_seconds: float | None = None,
     seed_with_heuristics: bool = False,
+    hooks: "BoundHooks | None" = None,
 ) -> GAResult:
     """Run GA-tw; ``result.best_fitness`` is a treewidth upper bound and
     ``result.best_individual`` the witnessing elimination ordering.
@@ -35,7 +37,10 @@ def ga_treewidth(
     ``seed_with_heuristics`` injects the min-fill / min-degree orderings
     into the initial population (an extension beyond the thesis' fully
     random initialization; useful in practice, off by default for
-    fidelity).
+    fidelity).  ``hooks`` (see :class:`repro.search.BoundHooks`) plugs
+    the run into the portfolio's shared incumbent channel: best-fitness
+    improvements are published as treewidth upper bounds, and the run
+    stops once an external lower bound proves the best fitness optimal.
     """
     graph = (
         structure.primal_graph()
@@ -62,4 +67,5 @@ def ga_treewidth(
         rng=generator,
         max_seconds=max_seconds,
         seed_individuals=seeds,
+        hooks=hooks,
     )

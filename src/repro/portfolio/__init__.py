@@ -1,0 +1,34 @@
+"""Parallel anytime portfolio solver with shared incumbent bounds.
+
+Races the repo's anytime width solvers (A*/BB/GA, tw and ghw, plus the
+min-fill seed) in worker processes; workers exchange incumbent bounds
+through a shared channel so each tightens its pruning from the others'
+progress.  See :func:`run_portfolio`.
+"""
+
+from .backends import (
+    BACKENDS,
+    DEFAULT_BACKENDS,
+    BackendConfig,
+    BackendReport,
+    BackendSpec,
+    resolve_backends,
+)
+from .runner import PortfolioError, PortfolioResult, run_portfolio
+from .shared import BoundEvent, EventRecorder, SharedBounds, make_worker_hooks
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKENDS",
+    "BackendConfig",
+    "BackendReport",
+    "BackendSpec",
+    "BoundEvent",
+    "EventRecorder",
+    "PortfolioError",
+    "PortfolioResult",
+    "SharedBounds",
+    "make_worker_hooks",
+    "resolve_backends",
+    "run_portfolio",
+]

@@ -1,0 +1,300 @@
+"""The solver backends the portfolio races.
+
+Each backend adapts one of the repo's anytime solvers to a uniform
+surface: ``run(structure, config, hooks) -> BackendReport``.  Treewidth
+backends accept graphs (and hypergraphs via their primal graph, which
+every solver already handles); ghw backends require hypergraphs.
+
+The ``min-fill`` backend is the portfolio's seed: it computes the greedy
+heuristic bounds in milliseconds and publishes them, so the expensive
+searches start with a tight incumbent no matter which worker wins the
+scheduling race.
+
+The ``crash`` backend exists for failure-injection tests only — it
+raises immediately, exercising the runner's worker-failure path (the
+same pattern as ``tests/test_failure_injection.py`` elsewhere in the
+repo).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..bounds.ghw_lower import ghw_lower_bound
+from ..bounds.lower import minor_gamma_r, minor_min_width
+from ..bounds.upper import best_heuristic_ordering
+from ..decomposition import ghw_ordering_width
+from ..genetic import GAParameters, ga_ghw, ga_treewidth
+from ..hypergraph.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+from ..search import (
+    BoundHooks,
+    SearchBudget,
+    astar_ghw,
+    astar_treewidth,
+    branch_and_bound_ghw,
+    branch_and_bound_treewidth,
+)
+
+
+@dataclass
+class BackendConfig:
+    """Per-worker knobs, picklable for the process boundary.
+
+    ``deterministic`` trades the wall-clock budget for a fixed amount of
+    work (node budget for the searches, generation budget for the GA) so
+    a worker's outcome depends only on its seed.
+    """
+
+    max_seconds: float | None = None
+    max_nodes: int | None = None
+    seed: int = 0
+    deterministic: bool = False
+    ga_population: int = 40
+    ga_generations: int = 120
+    poll_interval: int = 64
+
+
+@dataclass
+class BackendReport:
+    """What one worker sends home.
+
+    ``upper_bound`` is witnessed by ``ordering``; ``lower_bound`` is the
+    worker's own proof (``None`` for heuristic-only backends like the
+    GA).  ``events`` is the worker-local bound stream (filled in by the
+    runner's worker shim).  ``error`` marks a worker that raised — all
+    other fields are then meaningless.
+    """
+
+    backend: str
+    upper_bound: int | None = None
+    lower_bound: int | None = None
+    ordering: list | None = None
+    exact: bool = False
+    nodes: int = 0
+    elapsed_seconds: float = 0.0
+    stopped_by_bound: bool = False
+    error: str | None = None
+    events: list = field(default_factory=list)
+
+
+def _budget(config: BackendConfig, hooks: BoundHooks) -> SearchBudget:
+    return SearchBudget(
+        max_nodes=config.max_nodes,
+        max_seconds=None if config.deterministic else config.max_seconds,
+        hooks=hooks,
+    )
+
+
+def _search_report(name: str, result) -> BackendReport:
+    return BackendReport(
+        backend=name,
+        upper_bound=result.upper_bound,
+        lower_bound=result.lower_bound,
+        ordering=list(result.ordering) if result.ordering is not None else None,
+        exact=result.exact,
+        nodes=result.stats.nodes_expanded,
+        elapsed_seconds=result.stats.elapsed_seconds,
+    )
+
+
+def _ga_report(name: str, result) -> BackendReport:
+    return BackendReport(
+        backend=name,
+        upper_bound=int(result.best_fitness),
+        lower_bound=None,
+        ordering=list(result.best_individual) or None,
+        exact=False,
+        nodes=result.evaluations,
+        elapsed_seconds=result.elapsed_seconds,
+        stopped_by_bound=result.stopped_by_bound,
+    )
+
+
+def _ga_parameters(config: BackendConfig) -> GAParameters:
+    return GAParameters(
+        population_size=config.ga_population,
+        generations=config.ga_generations,
+    )
+
+
+def _as_hypergraph(structure: Graph | Hypergraph) -> Hypergraph:
+    if isinstance(structure, Hypergraph):
+        return structure
+    return Hypergraph.from_graph(structure)
+
+
+# -- treewidth backends -------------------------------------------------
+
+
+def _run_astar_tw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = astar_treewidth(
+        structure,
+        budget=_budget(config, hooks),
+        rng=random.Random(config.seed),
+    )
+    return _search_report("astar-tw", result)
+
+
+def _run_bb_tw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = branch_and_bound_treewidth(
+        structure,
+        budget=_budget(config, hooks),
+        rng=random.Random(config.seed),
+    )
+    return _search_report("bb-tw", result)
+
+
+def _run_ga_tw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = ga_treewidth(
+        structure,
+        _ga_parameters(config),
+        rng=random.Random(config.seed),
+        max_seconds=None if config.deterministic else config.max_seconds,
+        hooks=hooks,
+    )
+    return _ga_report("ga-tw", result)
+
+
+def _run_minfill_tw(structure, config: BackendConfig, hooks: BoundHooks):
+    graph = (
+        structure.primal_graph()
+        if isinstance(structure, Hypergraph)
+        else structure.copy()
+    )
+    rng = random.Random(config.seed)
+    if graph.num_vertices == 0:
+        return BackendReport(
+            backend="min-fill", upper_bound=0, lower_bound=0,
+            ordering=[], exact=True,
+        )
+    lb = max(minor_min_width(graph, rng), minor_gamma_r(graph, rng))
+    ordering, ub = best_heuristic_ordering(graph, rng)
+    if hooks.publish_lower is not None:
+        hooks.publish_lower(lb)
+    if hooks.publish_upper is not None:
+        hooks.publish_upper(ub)
+    return BackendReport(
+        backend="min-fill",
+        upper_bound=ub,
+        lower_bound=lb,
+        ordering=list(ordering),
+        exact=lb >= ub,
+        nodes=0,
+    )
+
+
+# -- ghw backends -------------------------------------------------------
+
+
+def _run_bb_ghw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = branch_and_bound_ghw(
+        _as_hypergraph(structure),
+        budget=_budget(config, hooks),
+        rng=random.Random(config.seed),
+    )
+    return _search_report("bb-ghw", result)
+
+
+def _run_astar_ghw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = astar_ghw(
+        _as_hypergraph(structure),
+        budget=_budget(config, hooks),
+        rng=random.Random(config.seed),
+    )
+    return _search_report("astar-ghw", result)
+
+
+def _run_ga_ghw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = ga_ghw(
+        _as_hypergraph(structure),
+        _ga_parameters(config),
+        rng=random.Random(config.seed),
+        max_seconds=None if config.deterministic else config.max_seconds,
+        hooks=hooks,
+    )
+    return _ga_report("ga-ghw", result)
+
+
+def _run_minfill_ghw(structure, config: BackendConfig, hooks: BoundHooks):
+    hypergraph = _as_hypergraph(structure)
+    rng = random.Random(config.seed)
+    if hypergraph.num_edges == 0:
+        return BackendReport(
+            backend="min-fill-ghw", upper_bound=0, lower_bound=0,
+            ordering=hypergraph.vertex_list(), exact=True,
+        )
+    lb = ghw_lower_bound(hypergraph, rng)
+    ordering, _tw = best_heuristic_ordering(hypergraph, rng)
+    ub = ghw_ordering_width(hypergraph, list(ordering))
+    if hooks.publish_lower is not None:
+        hooks.publish_lower(lb)
+    if hooks.publish_upper is not None:
+        hooks.publish_upper(ub)
+    return BackendReport(
+        backend="min-fill-ghw",
+        upper_bound=ub,
+        lower_bound=lb,
+        ordering=list(ordering),
+        exact=lb >= ub,
+        nodes=0,
+    )
+
+
+def _run_crash(structure, config: BackendConfig, hooks: BoundHooks):
+    raise RuntimeError("injected portfolio worker failure (test backend)")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A named backend: which metric it bounds and how to run it."""
+
+    name: str
+    kind: str  # "tw" | "ghw" | "any"
+    run: Callable
+
+
+BACKENDS: dict[str, BackendSpec] = {
+    spec.name: spec
+    for spec in (
+        BackendSpec("astar-tw", "tw", _run_astar_tw),
+        BackendSpec("bb-tw", "tw", _run_bb_tw),
+        BackendSpec("ga-tw", "tw", _run_ga_tw),
+        BackendSpec("min-fill", "tw", _run_minfill_tw),
+        BackendSpec("bb-ghw", "ghw", _run_bb_ghw),
+        BackendSpec("astar-ghw", "ghw", _run_astar_ghw),
+        BackendSpec("ga-ghw", "ghw", _run_ga_ghw),
+        BackendSpec("min-fill-ghw", "ghw", _run_minfill_ghw),
+        BackendSpec("crash", "any", _run_crash),
+    )
+}
+
+DEFAULT_BACKENDS: dict[str, tuple[str, ...]] = {
+    "tw": ("astar-tw", "bb-tw", "ga-tw", "min-fill"),
+    "ghw": ("bb-ghw", "astar-ghw", "ga-ghw", "min-fill-ghw"),
+}
+
+
+def resolve_backends(
+    names: list[str] | tuple[str, ...] | None, kind: str
+) -> list[BackendSpec]:
+    """Validate a backend selection against the instance kind."""
+    if names is None:
+        names = DEFAULT_BACKENDS[kind]
+    specs = []
+    for name in names:
+        spec = BACKENDS.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown backend {name!r} (known: {sorted(BACKENDS)})"
+            )
+        if spec.kind not in (kind, "any"):
+            raise ValueError(
+                f"backend {name!r} computes {spec.kind}, not {kind}"
+            )
+        specs.append(spec)
+    if not specs:
+        raise ValueError("no backends selected")
+    return specs

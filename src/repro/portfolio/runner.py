@@ -1,0 +1,268 @@
+"""The multiprocessing portfolio runner.
+
+``run_portfolio`` races solver backends in worker processes on one
+instance.  Workers exchange incumbent bounds through a
+:class:`~repro.portfolio.shared.SharedBounds` channel — each worker
+tightens its pruning from the others' progress — and the parent
+aggregates everything into a single anytime :class:`PortfolioResult`:
+the best witnessed width, its certificate ordering, the max of the
+proven lower bounds, per-backend stats and the merged bound-event
+timeline.
+
+Scheduling is wave-based: at most ``jobs`` workers run concurrently;
+when one finishes the next queued backend starts (inheriting whatever
+bounds the finished workers left in the channel).  A worker that raises
+is reported as an error and the race goes on; a worker that exceeds its
+grace period (twice the budget plus slack) is terminated.
+
+``deterministic=True`` makes the outcome a pure function of the seeds:
+workers run isolated (no live bound exchange), wall-clock budgets are
+replaced by node/generation budgets, and all merging — winner selection
+and the event timeline — happens in the fixed backend order rather than
+arrival order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field, replace
+
+from ..hypergraph.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+from .backends import (
+    BACKENDS,
+    BackendConfig,
+    BackendReport,
+    resolve_backends,
+)
+from .shared import BoundEvent, EventRecorder, SharedBounds, make_worker_hooks
+
+# Bounded work for deterministic runs that did not pick a node budget
+# (wall-clock budgets are disabled there, so *something* must bound the
+# searches on hard instances).
+_DETERMINISTIC_DEFAULT_NODES = 1_000_000
+
+
+class PortfolioError(RuntimeError):
+    """Raised when every backend failed to produce a bound."""
+
+
+@dataclass
+class PortfolioResult:
+    """Aggregated outcome of a portfolio race.
+
+    ``upper_bound`` is witnessed by ``ordering`` (found by
+    ``best_backend``); ``lower_bound`` is the max of the workers' proven
+    lower bounds, so ``exact`` means the width is fixed even when no
+    single worker proved both sides itself — that combination is the
+    point of the shared channel.
+    """
+
+    metric: str  # "tw" | "ghw"
+    upper_bound: int
+    lower_bound: int
+    exact: bool
+    ordering: list | None
+    best_backend: str
+    reports: dict[str, BackendReport]
+    events: list[BoundEvent]
+    elapsed_seconds: float
+    jobs: int
+    deterministic: bool
+
+    @property
+    def width(self) -> int:
+        """The best known width (the upper bound's witness)."""
+        return self.upper_bound
+
+
+def _worker_main(name, structure, config, shared, report_queue, t0):
+    """Process entry point: run one backend, send its report home.
+
+    Every exception becomes an error report — a failing backend must
+    never take the portfolio down with it.
+    """
+    recorder = EventRecorder(name, t0)
+    hooks = make_worker_hooks(shared, recorder, config.poll_interval)
+    start = time.monotonic()
+    try:
+        report = BACKENDS[name].run(structure, config, hooks)
+    except Exception as exc:  # noqa: BLE001 — forwarded, not swallowed
+        report = BackendReport(
+            backend=name,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_seconds=time.monotonic() - start,
+        )
+    report.events = recorder.events
+    report_queue.put(report)
+
+
+def run_portfolio(
+    structure: Graph | Hypergraph,
+    backends: list[str] | tuple[str, ...] | None = None,
+    jobs: int = 2,
+    budget_seconds: float | None = None,
+    max_nodes: int | None = None,
+    seed: int = 0,
+    deterministic: bool = False,
+    metric: str | None = None,
+    ga_population: int = 40,
+    ga_generations: int = 120,
+    poll_interval: int = 64,
+) -> PortfolioResult:
+    """Race solver backends on ``structure`` and merge their bounds.
+
+    ``metric`` defaults to ``"tw"`` for graphs and ``"ghw"`` for
+    hypergraphs (graphs are lifted when a ghw metric is forced, and
+    hypergraphs drop to their primal graph for tw — the solvers already
+    handle both).  ``backends`` defaults to the full backend set for the
+    metric; with fewer ``jobs`` than backends the surplus runs in later
+    waves, seeded by the earlier waves' bounds.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if metric is None:
+        metric = "ghw" if isinstance(structure, Hypergraph) else "tw"
+    if metric not in ("tw", "ghw"):
+        raise ValueError(f"unknown metric {metric!r} (use 'tw' or 'ghw')")
+    specs = resolve_backends(backends, metric)
+    if deterministic and max_nodes is None:
+        max_nodes = _DETERMINISTIC_DEFAULT_NODES
+
+    base_config = BackendConfig(
+        max_seconds=budget_seconds,
+        max_nodes=max_nodes,
+        seed=seed,
+        deterministic=deterministic,
+        ga_population=ga_population,
+        ga_generations=ga_generations,
+        poll_interval=poll_interval,
+    )
+
+    ctx = multiprocessing.get_context()
+    shared = None if deterministic else SharedBounds(ctx)
+    report_queue = ctx.Queue()
+    t0 = time.monotonic()
+    grace = None if budget_seconds is None else 2.0 * budget_seconds + 30.0
+
+    pending = list(enumerate(specs))
+    running: dict[str, tuple] = {}
+    reports: dict[str, BackendReport] = {}
+
+    def drain(timeout: float | None = None) -> bool:
+        try:
+            report = report_queue.get(
+                timeout=timeout if timeout is not None else 0.05
+            )
+        except queue_module.Empty:
+            return False
+        reports[report.backend] = report
+        entry = running.pop(report.backend, None)
+        if entry is not None:
+            entry[0].join()
+        return True
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            index, spec = pending.pop(0)
+            config = replace(base_config, seed=seed + index)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(spec.name, structure, config, shared, report_queue, t0),
+                daemon=True,
+            )
+            process.start()
+            running[spec.name] = (process, time.monotonic())
+        if drain():
+            continue
+        for name, (process, started) in list(running.items()):
+            if not process.is_alive():
+                # The report may still be in flight from the feeder
+                # thread; give it a moment to land before declaring the
+                # worker dead-without-report (hard crash).
+                while drain(timeout=0.2):
+                    pass
+                if name in reports:
+                    break
+                process.join()
+                running.pop(name)
+                code = process.exitcode
+                reports[name] = BackendReport(
+                    backend=name,
+                    error=f"worker exited without a report (exitcode {code})",
+                )
+            elif grace is not None and time.monotonic() - started > grace:
+                process.terminate()
+                process.join()
+                running.pop(name)
+                reports[name] = BackendReport(
+                    backend=name,
+                    error=f"worker exceeded the grace period ({grace:.0f}s); "
+                    "terminated",
+                )
+
+    ordered = [reports[spec.name] for spec in specs]
+    return _aggregate(
+        metric, ordered, time.monotonic() - t0, jobs, deterministic
+    )
+
+
+def _aggregate(
+    metric: str,
+    ordered: list[BackendReport],
+    elapsed: float,
+    jobs: int,
+    deterministic: bool,
+) -> PortfolioResult:
+    """Merge the per-backend reports into the portfolio result.
+
+    Ties on the upper bound go to the earlier backend in the requested
+    order (``min`` is stable), which together with fixed seeds makes the
+    deterministic mode's winner reproducible.
+    """
+    candidates = [
+        report
+        for report in ordered
+        if report.error is None and report.upper_bound is not None
+    ]
+    if not candidates:
+        failures = "; ".join(
+            f"{report.backend}: {report.error or 'no bound'}"
+            for report in ordered
+        )
+        raise PortfolioError(f"every backend failed — {failures}")
+    best = min(candidates, key=lambda report: report.upper_bound)
+    lower = max(
+        (
+            report.lower_bound
+            for report in ordered
+            if report.error is None and report.lower_bound is not None
+        ),
+        default=0,
+    )
+    lower = min(lower, best.upper_bound)
+
+    order_index = {report.backend: i for i, report in enumerate(ordered)}
+    events = [
+        event for report in ordered for event in report.events
+    ]
+    if deterministic:
+        events.sort(key=lambda e: (order_index[e.backend], e.seq))
+    else:
+        events.sort(key=lambda e: (e.at, order_index[e.backend], e.seq))
+
+    return PortfolioResult(
+        metric=metric,
+        upper_bound=best.upper_bound,
+        lower_bound=lower,
+        exact=lower >= best.upper_bound,
+        ordering=best.ordering,
+        best_backend=best.backend,
+        reports={report.backend: report for report in ordered},
+        events=events,
+        elapsed_seconds=elapsed,
+        jobs=jobs,
+        deterministic=deterministic,
+    )

@@ -1,0 +1,138 @@
+"""The shared incumbent-bound channel between portfolio workers.
+
+Workers race on the same instance, so any worker's incumbent upper bound
+is a global upper bound and any worker's proven lower bound a global
+lower bound.  :class:`SharedBounds` keeps the tightest of each in two
+lock-protected shared integers; workers poll them through their
+:class:`~repro.search.common.BoundHooks` (throttled by
+``poll_interval``) and propose improvements back.  Both proposals are
+monotone merges — a stale write can never loosen the channel.
+
+The channel carries *values only*.  Certificates (orderings) stay in the
+worker that found them and travel home in its
+:class:`~repro.portfolio.backends.BackendReport`; the aggregator picks
+the certificate matching the winning bound.  This keeps the shared state
+two machine words, so polling is cheap enough for search inner loops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..search.common import BoundHooks
+
+# Sentinels for "no bound yet" (shared ints cannot hold None).
+_UNSET_UB = 2**62
+_UNSET_LB = -1
+
+
+@dataclass(frozen=True)
+class BoundEvent:
+    """One improvement of a worker's incumbent, for the result timeline.
+
+    ``at`` is seconds since the portfolio started; ``seq`` the worker's
+    own monotone counter, which orders events reproducibly when wall
+    clocks cannot (``--deterministic``).
+    """
+
+    backend: str
+    kind: str  # "ub" | "lb"
+    value: int
+    at: float
+    seq: int
+
+
+class EventRecorder:
+    """Worker-local log of published bound improvements."""
+
+    def __init__(self, backend: str, t0: float):
+        self.backend = backend
+        self.t0 = t0
+        self.events: list[BoundEvent] = []
+
+    def record(self, kind: str, value: int) -> None:
+        self.events.append(
+            BoundEvent(
+                backend=self.backend,
+                kind=kind,
+                value=int(value),
+                at=time.monotonic() - self.t0,
+                seq=len(self.events),
+            )
+        )
+
+
+class SharedBounds:
+    """Tightest-known global bounds in shared memory.
+
+    Built in the parent from a multiprocessing context and inherited by
+    (or pickled to) the worker processes.
+    """
+
+    def __init__(self, ctx):
+        self._ub = ctx.Value("q", _UNSET_UB)
+        self._lb = ctx.Value("q", _UNSET_LB)
+
+    # -- worker side ----------------------------------------------------
+
+    def propose_upper(self, value: int) -> bool:
+        """Merge a witnessed upper bound; True if it tightened the channel."""
+        value = int(value)
+        with self._ub.get_lock():
+            if value < self._ub.value:
+                self._ub.value = value
+                return True
+        return False
+
+    def propose_lower(self, value: int) -> bool:
+        """Merge a proven lower bound; True if it tightened the channel."""
+        value = int(value)
+        with self._lb.get_lock():
+            if value > self._lb.value:
+                self._lb.value = value
+                return True
+        return False
+
+    def upper(self) -> int | None:
+        value = self._ub.value
+        return None if value >= _UNSET_UB else value
+
+    def lower(self) -> int | None:
+        value = self._lb.value
+        return None if value <= _UNSET_LB else value
+
+
+def make_worker_hooks(
+    shared: SharedBounds | None,
+    recorder: EventRecorder,
+    poll_interval: int = 64,
+) -> BoundHooks:
+    """Build the :class:`BoundHooks` a worker hands to its solver.
+
+    With ``shared=None`` (deterministic mode) the hooks only record the
+    worker's own bound stream — no cross-worker exchange — so the run's
+    outcome depends on nothing but the worker's seed.
+    """
+    if shared is None:
+        return BoundHooks(
+            publish_upper=lambda v: recorder.record("ub", v),
+            publish_lower=lambda v: recorder.record("lb", v),
+            poll_interval=poll_interval,
+        )
+
+    def publish_upper(value: int) -> None:
+        if shared.propose_upper(value):
+            recorder.record("ub", value)
+
+    def publish_lower(value: int) -> None:
+        if shared.propose_lower(value):
+            recorder.record("lb", value)
+
+    return BoundHooks(
+        poll_upper=shared.upper,
+        poll_lower=shared.lower,
+        publish_upper=publish_upper,
+        publish_lower=publish_lower,
+        poll_interval=poll_interval,
+    )

@@ -7,6 +7,8 @@ from .bb_ghw import branch_and_bound_ghw, brute_force_ghw
 from .bb_tw import branch_and_bound_treewidth
 from .detkdecomp import det_k_decomp, hypertree_width
 from .common import (
+    BoundHooks,
+    BoundsConverged,
     BudgetExceeded,
     GraphReplayer,
     SearchBudget,
@@ -27,6 +29,8 @@ from .reductions import (
 )
 
 __all__ = [
+    "BoundHooks",
+    "BoundsConverged",
     "BudgetExceeded",
     "GraphReplayer",
     "SearchBudget",

@@ -74,6 +74,12 @@ def astar_ghw(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    clock.publish_lower(lb)
+    clock.publish_upper(ub)
+    if clock.external_lb is not None and clock.external_lb >= ub:
+        stats.bounds_adopted += 1
+        stats.bounds_published = clock.published
+        return SearchResult(ub, ub, ub_ordering, True, stats)
     replayer = GraphReplayer(graph)
     counter = itertools.count()
 
@@ -101,11 +107,26 @@ def astar_ghw(
     try:
         while queue:
             state = heapq.heappop(queue)
-            if state.f >= best_ub:
+            if state.f >= clock.prune_bound(best_ub):
                 continue
             clock.tick()
             stats.nodes_expanded += 1
-            best_lb = max(best_lb, state.f)
+            if state.f > best_lb:
+                best_lb = state.f
+                clock.publish_lower(best_lb)
+            external_lb = clock.external_lb
+            if external_lb is not None and external_lb > best_lb:
+                best_lb = external_lb
+                stats.bounds_adopted += 1
+            if best_lb >= clock.prune_bound(best_ub):
+                # The proven lower bound met the global incumbent (see
+                # A*-tw): stop; exact only if our own incumbent is met.
+                stats.elapsed_seconds = clock.elapsed
+                stats.bounds_published = clock.published
+                lower = min(best_lb, best_ub)
+                return SearchResult(
+                    best_ub, lower, best_ub_ordering, lower >= best_ub, stats
+                )
             current = replayer.move_to(state.ordering)
             completion = context.completion_bound(current)
             total = max(state.g, completion)
@@ -114,9 +135,13 @@ def astar_ghw(
                 best_ub_ordering = list(state.ordering) + [
                     v for v in all_vertices if v not in state.ordering
                 ]
+                clock.publish_upper(best_ub)
             if completion <= state.g or len(current) == 0:
                 # Goal: every completion has width exactly g.
                 stats.elapsed_seconds = clock.elapsed
+                clock.publish_upper(state.g)
+                clock.publish_lower(state.g)
+                stats.bounds_published = clock.published
                 return SearchResult(
                     state.g, state.g, best_ub_ordering, True, stats
                 )
@@ -152,7 +177,7 @@ def astar_ghw(
                         child_children = (fv,)
                         reduced = True
                 current.restore()
-                if f < best_ub:
+                if f < clock.prune_bound(best_ub):
                     heapq.heappush(
                         queue,
                         _State(
@@ -167,10 +192,18 @@ def astar_ghw(
                     )
             stats.max_frontier = max(stats.max_frontier, len(queue))
         stats.elapsed_seconds = clock.elapsed
-        return SearchResult(best_ub, best_ub, best_ub_ordering, True, stats)
+        # Queue exhausted: see A*-tw — the proven lower bound is the
+        # final prune bound (ub standalone; possibly an external value).
+        proven = max(clock.prune_bound(best_ub), best_lb)
+        clock.publish_lower(proven)
+        stats.bounds_published = clock.published
+        return SearchResult(
+            best_ub, proven, best_ub_ordering, proven >= best_ub, stats
+        )
     except BudgetExceeded:
         stats.budget_exhausted = True
         stats.elapsed_seconds = clock.elapsed
+        stats.bounds_published = clock.published
         return SearchResult(
             best_ub, best_lb, best_ub_ordering, best_lb >= best_ub, stats
         )

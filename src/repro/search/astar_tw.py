@@ -200,6 +200,12 @@ def astar_treewidth(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    clock.publish_lower(lb)
+    clock.publish_upper(ub)
+    if clock.external_lb is not None and clock.external_lb >= ub:
+        stats.bounds_adopted += 1
+        stats.bounds_published = clock.published
+        return SearchResult(ub, ub, ub_ordering, True, stats)
     replayer = GraphReplayer(graph)
     counter = itertools.count()
 
@@ -225,8 +231,12 @@ def astar_treewidth(
     try:
         while queue:
             state = heapq.heappop(queue)
-            if state.f >= ub:
-                continue  # stale: ub improved since the push
+            # Prune against the tighter of our incumbent and the external
+            # one; the external value is witnessed by another worker, so
+            # cutting at it never loses the optimum.
+            prune = clock.prune_bound(ub)
+            if state.f >= prune:
+                continue  # stale: an incumbent improved since the push
             if memoize:
                 key = (
                     graph.mask_of(state.ordering)
@@ -239,13 +249,33 @@ def astar_treewidth(
                 expanded_sets[key] = state.g
             clock.tick()
             stats.nodes_expanded += 1
-            best_lb = max(best_lb, state.f)
+            if state.f > best_lb:
+                best_lb = state.f
+                clock.publish_lower(best_lb)
+            external_lb = clock.external_lb
+            if external_lb is not None and external_lb > best_lb:
+                best_lb = external_lb
+                stats.bounds_adopted += 1
+            if best_lb >= clock.prune_bound(ub):
+                # The proven lower bound met the global incumbent: the
+                # treewidth is fixed without exhausting the queue.  When
+                # the meeting incumbent is external, the certificate
+                # lives in another worker and the local result is an
+                # honest bracket.
+                stats.elapsed_seconds = clock.elapsed
+                stats.max_frontier = max(stats.max_frontier, len(queue))
+                stats.bounds_published = clock.published
+                lower = min(best_lb, ub)
+                return SearchResult(ub, lower, ub_ordering, lower >= ub, stats)
             current = replayer.move_to(state.ordering)
             remaining = len(current)
             if state.g >= remaining - 1:
                 ordering = list(state.ordering) + current.vertex_list()
                 stats.elapsed_seconds = clock.elapsed
                 stats.max_frontier = max(stats.max_frontier, len(queue))
+                clock.publish_upper(state.g)
+                clock.publish_lower(state.g)
+                stats.bounds_published = clock.published
                 return SearchResult(state.g, state.g, ordering, True, stats)
             for child in _expand(
                 state, current, replayer, h_fn, counter,
@@ -257,16 +287,24 @@ def astar_treewidth(
                     ub_ordering = list(child.ordering) + [
                         v for v in all_vertices if v not in child.ordering
                     ]
-                if child.f < ub:
+                    clock.publish_upper(ub)
+                if child.f < clock.prune_bound(ub):
                     heapq.heappush(queue, child)
             stats.max_frontier = max(stats.max_frontier, len(queue))
-        # Queue exhausted: every branch was pruned at f >= ub, so ub is
-        # also a lower bound — the treewidth is exactly ub.
+        # Queue exhausted: every branch was pruned at f >= prune_bound,
+        # so that bound is also a proven lower bound.  Standalone the
+        # bound is ub and the treewidth is exactly ub; with a tighter
+        # external incumbent the certificate lives in another worker, so
+        # we report our own witnessed ub against the proven lower bound.
         stats.elapsed_seconds = clock.elapsed
-        return SearchResult(ub, ub, ub_ordering, True, stats)
+        proven = max(clock.prune_bound(ub), best_lb)
+        clock.publish_lower(proven)
+        stats.bounds_published = clock.published
+        return SearchResult(ub, proven, ub_ordering, proven >= ub, stats)
     except BudgetExceeded:
         stats.budget_exhausted = True
         stats.elapsed_seconds = clock.elapsed
+        stats.bounds_published = clock.published
         return SearchResult(ub, best_lb, ub_ordering, best_lb >= ub, stats)
 
 

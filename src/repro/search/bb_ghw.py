@@ -24,7 +24,13 @@ from ..bounds.ghw_lower import ghw_lower_bound
 from ..bounds.upper import best_heuristic_ordering
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
-from .common import BudgetExceeded, SearchBudget, SearchResult, SearchStats
+from .common import (
+    BoundsConverged,
+    BudgetExceeded,
+    SearchBudget,
+    SearchResult,
+    SearchStats,
+)
 from .ghw_common import GhwSearchContext, initial_ghw_bounds
 from .pruning import default_precedes, swap_equivalent
 from .reductions import find_simplicial, find_strongly_almost_simplicial
@@ -63,6 +69,8 @@ def branch_and_bound_ghw(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    clock.publish_lower(lb)
+    clock.publish_upper(ub)
     search = _GhwDfs(
         graph, context, clock, stats, use_reductions, use_sas, use_pr2,
         all_vertices,
@@ -74,12 +82,32 @@ def branch_and_bound_ghw(
         roots = (forced,) if forced is not None else tuple(all_vertices)
         search.descend([], 0, lb, roots, forced is not None)
         stats.elapsed_seconds = clock.elapsed
-        return SearchResult(search.ub, search.ub, search.ub_ordering, True, stats)
+        # See BB-tw: a tighter external incumbent turns the completed DFS
+        # into a proof of ghw >= prune_bound; standalone it equals ub.
+        proven = clock.prune_bound(search.ub)
+        clock.publish_lower(proven)
+        stats.bounds_published = clock.published
+        return SearchResult(
+            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+        )
+    except BoundsConverged:
+        stats.elapsed_seconds = clock.elapsed
+        stats.bounds_published = clock.published
+        proven = min(search.converged_lb, search.ub)
+        return SearchResult(
+            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+        )
     except BudgetExceeded:
         stats.budget_exhausted = True
         stats.elapsed_seconds = clock.elapsed
+        stats.bounds_published = clock.published
+        best_lb = lb
+        if clock.external_lb is not None and clock.external_lb > best_lb:
+            best_lb = min(clock.external_lb, search.ub)
+            stats.bounds_adopted += 1
         return SearchResult(
-            search.ub, lb, search.ub_ordering, lb >= search.ub, stats
+            search.ub, best_lb, search.ub_ordering, best_lb >= search.ub,
+            stats,
         )
 
 
@@ -107,6 +135,7 @@ class _GhwDfs:
         self.all_vertices = all_vertices
         self.ub: int = len(context.hypergraph.edges)
         self.ub_ordering: list[Vertex] = list(all_vertices)
+        self.converged_lb: int = 0
 
     def forced_vertex(self, bound: int) -> Vertex | None:
         vertex = find_simplicial(self.graph)
@@ -124,6 +153,13 @@ class _GhwDfs:
     ) -> None:
         self.clock.tick()
         self.stats.nodes_expanded += 1
+        external_lb = self.clock.external_lb
+        if external_lb is not None and external_lb >= self.clock.prune_bound(
+            self.ub
+        ):
+            self.stats.bounds_adopted += 1
+            self.converged_lb = external_lb
+            raise BoundsConverged
         completion = self.context.completion_bound(self.graph)
         total = max(g, completion)
         if total < self.ub:
@@ -131,6 +167,7 @@ class _GhwDfs:
             self.ub_ordering = prefix + [
                 v for v in self.all_vertices if v not in prefix
             ]
+            self.clock.publish_upper(self.ub)
         if completion <= g or len(self.graph) == 0:
             return  # PR 1 analogue: every completion has width exactly g
         for vertex in children:
@@ -138,7 +175,7 @@ class _GhwDfs:
                 continue
             cost = self.context.child_cost(self.graph, vertex)
             child_g = max(g, cost)
-            if child_g >= self.ub:
+            if child_g >= self.clock.prune_bound(self.ub):
                 continue
             if self.use_pr2 and not reduced:
                 allowed = tuple(
@@ -158,7 +195,7 @@ class _GhwDfs:
             try:
                 h = self.context.heuristic(self.graph)
                 child_f = max(child_g, h, f)
-                if child_f < self.ub:
+                if child_f < self.clock.prune_bound(self.ub):
                     child_children = allowed
                     child_reduced = False
                     if self.use_reductions:

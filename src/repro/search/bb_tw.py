@@ -26,7 +26,13 @@ from ..hypergraph.bitgraph import BitGraph, as_bitgraph
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
 from .astar_tw import _child_lower_bound, _KernelCaches
-from .common import BudgetExceeded, SearchBudget, SearchResult, SearchStats
+from .common import (
+    BoundsConverged,
+    BudgetExceeded,
+    SearchBudget,
+    SearchResult,
+    SearchStats,
+)
 from .pruning import (
     default_precedes,
     pr1_closes_subtree,
@@ -82,6 +88,8 @@ def branch_and_bound_treewidth(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    clock.publish_lower(lb)
+    clock.publish_upper(ub)
     search = _DepthFirstSearch(
         graph, h_fn, clock, stats, use_reductions, use_pr2, all_vertices
     )
@@ -98,12 +106,36 @@ def branch_and_bound_treewidth(
         search.descend(prefix=[], g=0, f=lb, children=roots,
                        reduced=forced is not None)
         stats.elapsed_seconds = clock.elapsed
-        return SearchResult(search.ub, search.ub, search.ub_ordering, True, stats)
+        # With an external incumbent tighter than ours, subtrees were cut
+        # at its value; the DFS then proves tw >= that value while the
+        # certificate for the matching upper bound lives in another
+        # worker.  Standalone, prune_bound == search.ub and the result is
+        # exact as before.
+        proven = clock.prune_bound(search.ub)
+        clock.publish_lower(proven)
+        stats.bounds_published = clock.published
+        return SearchResult(
+            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+        )
+    except BoundsConverged:
+        stats.elapsed_seconds = clock.elapsed
+        stats.bounds_published = clock.published
+        proven = min(search.converged_lb, search.ub)
+        return SearchResult(
+            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+        )
     except BudgetExceeded:
         stats.budget_exhausted = True
         stats.elapsed_seconds = clock.elapsed
-        exact = lb >= search.ub
-        return SearchResult(search.ub, lb, search.ub_ordering, exact, stats)
+        stats.bounds_published = clock.published
+        best_lb = lb
+        if clock.external_lb is not None and clock.external_lb > best_lb:
+            best_lb = min(clock.external_lb, search.ub)
+            stats.bounds_adopted += 1
+        exact = best_lb >= search.ub
+        return SearchResult(
+            search.ub, best_lb, search.ub_ordering, exact, stats
+        )
 
 
 class _DepthFirstSearch:
@@ -128,6 +160,7 @@ class _DepthFirstSearch:
         self.all_vertices = all_vertices
         self.ub: int = len(all_vertices)
         self.ub_ordering: list[Vertex] = list(all_vertices)
+        self.converged_lb: int = 0
         # h / reduction memoization keyed on the remaining-vertex bitmask
         # (bit kernel only): sibling subtrees that eliminate the same
         # vertex set share a residual graph, hence one evaluation.
@@ -145,6 +178,14 @@ class _DepthFirstSearch:
     ) -> None:
         self.clock.tick()
         self.stats.nodes_expanded += 1
+        external_lb = self.clock.external_lb
+        if external_lb is not None and external_lb >= self.clock.prune_bound(
+            self.ub
+        ):
+            # The proven external lower bound met the global incumbent.
+            self.stats.bounds_adopted += 1
+            self.converged_lb = external_lb
+            raise BoundsConverged
         remaining = len(self.graph)
         # PR 1: every completion fits in max(g, remaining - 1).
         completion = max(g, remaining - 1)
@@ -153,6 +194,7 @@ class _DepthFirstSearch:
             self.ub_ordering = prefix + [
                 v for v in self.all_vertices if v not in prefix
             ]
+            self.clock.publish_upper(self.ub)
         if pr1_closes_subtree(g, remaining):
             return
         for vertex in children:
@@ -160,7 +202,7 @@ class _DepthFirstSearch:
                 continue
             degree = self.graph.degree(vertex)
             child_g = max(g, degree)
-            if child_g >= self.ub:
+            if child_g >= self.clock.prune_bound(self.ub):
                 continue
             if self.use_pr2 and not reduced:
                 if self.caches is not None:
@@ -188,7 +230,7 @@ class _DepthFirstSearch:
                 else:
                     h = self.h_fn(self.graph)
                 child_f = max(child_g, h, f)
-                if child_f < self.ub:
+                if child_f < self.clock.prune_bound(self.ub):
                     child_reduced = False
                     child_children = allowed
                     if self.use_reductions:

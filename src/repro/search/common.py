@@ -9,7 +9,7 @@ are nondecreasing, so the last visited f is a valid lower bound).
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..hypergraph.bitgraph import BitGraph
@@ -20,6 +20,45 @@ class BudgetExceeded(Exception):
     """Internal signal: the node or time budget ran out."""
 
 
+class BoundsConverged(Exception):
+    """Internal signal: an externally injected lower bound met the
+    incumbent upper bound, so the width is fixed without finishing the
+    search.  Only raised when :class:`BoundHooks` are installed."""
+
+
+@dataclass
+class BoundHooks:
+    """Callbacks wiring a search into an external incumbent channel.
+
+    The portfolio runner races several anytime solvers on the same
+    instance; each solver polls the others' best bounds through these
+    hooks and publishes its own improvements back.  All callables are
+    optional — a hook left ``None`` is simply skipped — so the same
+    search code runs unchanged standalone.
+
+    Soundness contract: ``poll_upper`` must return a width some witness
+    ordering achieves (any worker's incumbent), and ``poll_lower`` a
+    proven lower bound; under that contract external pruning never cuts
+    the optimum.  Published values follow the same convention.
+
+    Attributes:
+        poll_upper: returns the best known external upper bound, or None.
+        poll_lower: returns the best proven external lower bound, or None.
+        publish_upper: called with every strict improvement of the
+            caller's incumbent upper bound.
+        publish_lower: called with every strict improvement of the
+            caller's proven lower bound.
+        poll_interval: nodes between polls (polling crosses a process
+            boundary in the portfolio; every node would be wasteful).
+    """
+
+    poll_upper: Callable[[], int | None] | None = None
+    poll_lower: Callable[[], int | None] | None = None
+    publish_upper: Callable[[int], None] | None = None
+    publish_lower: Callable[[int], None] | None = None
+    poll_interval: int = 64
+
+
 @dataclass
 class SearchBudget:
     """Limits for a search run.
@@ -28,22 +67,37 @@ class SearchBudget:
         max_nodes: maximum number of expanded / visited search states
             (``None`` = unlimited).
         max_seconds: wall-clock limit (``None`` = unlimited).
+        hooks: optional :class:`BoundHooks` connecting the run to an
+            external incumbent channel (portfolio mode).
     """
 
     max_nodes: int | None = None
     max_seconds: float | None = None
+    hooks: BoundHooks | None = None
 
     def start(self) -> "_BudgetClock":
         return _BudgetClock(self)
 
 
 class _BudgetClock:
-    """Mutable per-run counter for a :class:`SearchBudget`."""
+    """Mutable per-run counter for a :class:`SearchBudget`.
+
+    Also the per-run cache of the external incumbent bounds: ``tick``
+    refreshes ``external_ub`` / ``external_lb`` from the hooks every
+    ``poll_interval`` nodes, so searches read plain attributes on their
+    hot path instead of crossing a process boundary per node.
+    """
 
     def __init__(self, budget: SearchBudget):
         self._budget = budget
         self._start = time.monotonic()
         self.nodes = 0
+        self._hooks = budget.hooks
+        self.external_ub: int | None = None
+        self.external_lb: int | None = None
+        self.published = 0
+        if self._hooks is not None:
+            self.poll()
 
     def tick(self) -> None:
         """Count one expanded node; raise :class:`BudgetExceeded` when the
@@ -56,6 +110,45 @@ class _BudgetClock:
         if seconds is not None and self.nodes % 64 == 0:
             if time.monotonic() - self._start > seconds:
                 raise BudgetExceeded
+        hooks = self._hooks
+        if hooks is not None and self.nodes % hooks.poll_interval == 0:
+            self.poll()
+
+    def poll(self) -> None:
+        """Refresh the cached external bounds from the hooks."""
+        hooks = self._hooks
+        if hooks is None:
+            return
+        if hooks.poll_upper is not None:
+            value = hooks.poll_upper()
+            if value is not None and (
+                self.external_ub is None or value < self.external_ub
+            ):
+                self.external_ub = value
+        if hooks.poll_lower is not None:
+            value = hooks.poll_lower()
+            if value is not None and (
+                self.external_lb is None or value > self.external_lb
+            ):
+                self.external_lb = value
+
+    def publish_upper(self, value: int) -> None:
+        if self._hooks is not None and self._hooks.publish_upper is not None:
+            self._hooks.publish_upper(value)
+            self.published += 1
+
+    def publish_lower(self, value: int) -> None:
+        if self._hooks is not None and self._hooks.publish_lower is not None:
+            self._hooks.publish_lower(value)
+            self.published += 1
+
+    def prune_bound(self, own_ub: int) -> int:
+        """The bound to cut branches against: the tighter of the caller's
+        incumbent and the external incumbent."""
+        external = self.external_ub
+        if external is not None and external < own_ub:
+            return external
+        return own_ub
 
     @property
     def elapsed(self) -> float:
@@ -70,6 +163,8 @@ class SearchStats:
     max_frontier: int = 0
     elapsed_seconds: float = 0.0
     budget_exhausted: bool = False
+    bounds_adopted: int = 0
+    bounds_published: int = 0
 
 
 @dataclass

@@ -71,6 +71,64 @@ class TestCommands:
         assert main(["hw", "myciel3"]) == 0
         assert "hypertree width" in capsys.readouterr().out
 
+    def test_portfolio_tw(self, capsys):
+        assert main([
+            "portfolio", "myciel3", "--jobs", "2", "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth = 5" in out
+        assert "deterministic" in out
+        assert "astar-tw" in out and "min-fill" in out
+
+    def test_portfolio_ghw(self, capsys):
+        assert main([
+            "portfolio", "adder_5", "--jobs", "2", "--budget", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ghw = 2" in out
+
+    def test_portfolio_backend_selection_and_timeline(self, capsys):
+        assert main([
+            "portfolio", "myciel3",
+            "--backends", "min-fill,bb-tw",
+            "--jobs", "1", "--budget", "60", "--timeline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth = 5" in out
+        assert "2 backends" in out
+        assert "bound timeline:" in out
+
+    def test_portfolio_crashing_backend_reported(self, capsys):
+        assert main([
+            "portfolio", "myciel3",
+            "--backends", "crash,bb-tw", "--jobs", "2", "--budget", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth = 5" in out
+        assert "error:" in out
+
+    def test_portfolio_unknown_backend(self, capsys):
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(["portfolio", "myciel3", "--backends", "nope"])
+
+    def test_ghw_from_hypergraph_file(self, capsys, tmp_path):
+        # The file-sniffing path: a hyperedge list (no DIMACS header)
+        # must load as a hypergraph and run the ghw pipeline end to end.
+        path = tmp_path / "toy.hg"
+        path.write_text("c1(a,b,c),\nc2(c,d),\nc3(d,e,a),\n")
+        assert main(["ghw", str(path), "--budget", "30"]) == 0
+        assert "ghw = " in capsys.readouterr().out
+
+    def test_portfolio_from_hypergraph_file(self, capsys, tmp_path):
+        path = tmp_path / "toy.hg"
+        path.write_text("c1(a,b,c),\nc2(c,d),\nc3(d,e,a),\n")
+        assert main([
+            "portfolio", str(path), "--jobs", "2", "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio (ghw" in out
+        assert "ghw = " in out
+
     def test_decompose(self, capsys, tmp_path):
         output = tmp_path / "out.td"
         assert main(["decompose", "myciel3", "--output", str(output)]) == 0

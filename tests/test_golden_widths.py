@@ -1,0 +1,56 @@
+"""Golden-width regression suite.
+
+Pins the known exact widths of the registry instances the rest of the
+test suite (and the paper record in EXPERIMENTS.md) relies on.  Any
+solver change that moves one of these numbers is a correctness bug, not
+a tuning difference: the values are either published (queen5_5,
+myciel3/4 treewidths) or analytically forced (adder circuits have
+ghw 2, a 2d grid has ghw 2, K_n has ghw ceil(n/2) since every bag must
+cover a near-half clique with binary edges).
+"""
+
+import pytest
+
+from repro.instances import get_instance
+from repro.search import branch_and_bound_ghw, branch_and_bound_treewidth
+
+GOLDEN_TREEWIDTHS = {
+    "myciel3": 5,
+    "myciel4": 10,
+    "queen5_5": 18,
+}
+
+GOLDEN_GHWS = {
+    "adder_5": 2,
+    "adder_10": 2,
+    "adder_15": 2,
+    "clique_6": 3,   # ceil(6/2)
+    "clique_8": 4,   # ceil(8/2)
+    "clique_10": 5,  # ceil(10/2)
+    "grid2d_4": 2,
+    "bridge_5": 2,
+}
+
+
+@pytest.mark.parametrize(
+    "name,width", sorted(GOLDEN_TREEWIDTHS.items())
+)
+def test_golden_treewidth(name, width):
+    result = branch_and_bound_treewidth(get_instance(name).build())
+    assert result.exact, f"{name}: search did not close the gap"
+    assert result.width == width
+
+
+@pytest.mark.parametrize("name,width", sorted(GOLDEN_GHWS.items()))
+def test_golden_ghw(name, width):
+    result = branch_and_bound_ghw(get_instance(name).build())
+    assert result.exact, f"{name}: search did not close the gap"
+    assert result.width == width
+
+
+@pytest.mark.parametrize("n,expected", [(6, 3), (8, 4), (10, 5)])
+def test_clique_ghw_formula(n, expected):
+    # ghw(K_n) = ceil(n/2): cross-check the registry values against the
+    # closed form rather than trusting two copies of the same table.
+    assert expected == -(-n // 2)
+    assert GOLDEN_GHWS[f"clique_{n}"] == expected

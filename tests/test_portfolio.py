@@ -1,0 +1,271 @@
+"""Tests for the parallel anytime portfolio solver.
+
+Covers the shared-bound channel (monotone merges), in-process bound
+injection into the searches (soundness: external incumbents can only
+prune, never produce a width below the true optimum), determinism under
+fixed seeds, live bound-exchange runs, and graceful handling of a worker
+that raises.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.genetic import GAParameters, ga_treewidth
+from repro.instances import get_instance
+from repro.portfolio import (
+    BACKENDS,
+    DEFAULT_BACKENDS,
+    EventRecorder,
+    PortfolioError,
+    SharedBounds,
+    make_worker_hooks,
+    resolve_backends,
+    run_portfolio,
+)
+from repro.search import (
+    BoundHooks,
+    SearchBudget,
+    astar_treewidth,
+    branch_and_bound_treewidth,
+)
+
+MYCIEL3_TW = 5
+MYCIEL4_TW = 10
+
+
+def event_keys(events):
+    """Project a bound-event list onto its reproducible fields."""
+    return [(e.backend, e.kind, e.value, e.seq) for e in events]
+
+
+class TestSharedBounds:
+    def test_starts_unset(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        assert shared.upper() is None
+        assert shared.lower() is None
+
+    def test_monotone_upper_merge(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        assert shared.propose_upper(12) is True
+        assert shared.propose_upper(15) is False  # looser: rejected
+        assert shared.propose_upper(9) is True
+        assert shared.upper() == 9
+
+    def test_monotone_lower_merge(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        assert shared.propose_lower(3) is True
+        assert shared.propose_lower(2) is False  # looser: rejected
+        assert shared.propose_lower(7) is True
+        assert shared.lower() == 7
+
+    def test_worker_hooks_record_only_tightenings(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        recorder = EventRecorder("w", time.monotonic())
+        hooks = make_worker_hooks(shared, recorder)
+        hooks.publish_upper(10)
+        hooks.publish_upper(12)  # stale: merged away, not recorded
+        hooks.publish_upper(8)
+        hooks.publish_lower(4)
+        assert shared.upper() == 8
+        assert shared.lower() == 4
+        assert [(e.kind, e.value) for e in recorder.events] == [
+            ("ub", 10), ("ub", 8), ("lb", 4),
+        ]
+        assert [e.seq for e in recorder.events] == [0, 1, 2]
+
+    def test_isolated_hooks_have_no_polls(self):
+        recorder = EventRecorder("w", time.monotonic())
+        hooks = make_worker_hooks(None, recorder)
+        assert hooks.poll_upper is None
+        assert hooks.poll_lower is None
+        hooks.publish_upper(6)
+        assert [(e.kind, e.value) for e in recorder.events] == [("ub", 6)]
+
+
+class TestBoundInjection:
+    """External incumbents fed straight into the in-process searches."""
+
+    def test_external_bounds_prune_but_stay_sound(self):
+        # Another (hypothetical) worker witnessed ub=10 and proved lb=10
+        # on myciel4.  The search must converge fast and report an
+        # honest bracket: its own witnessed ub (>= the true optimum) and
+        # a lower bound exactly at the optimum.
+        graph = get_instance("myciel4").build()
+        hooks = BoundHooks(
+            poll_upper=lambda: MYCIEL4_TW,
+            poll_lower=lambda: MYCIEL4_TW,
+            poll_interval=1,
+        )
+        result = astar_treewidth(graph, budget=SearchBudget(hooks=hooks))
+        assert result.upper_bound >= MYCIEL4_TW  # never below the optimum
+        assert result.lower_bound == MYCIEL4_TW
+        baseline = astar_treewidth(graph)
+        assert result.stats.nodes_expanded < baseline.stats.nodes_expanded
+
+    def test_external_bounds_prune_branch_and_bound(self):
+        graph = get_instance("myciel4").build()
+        hooks = BoundHooks(
+            poll_upper=lambda: MYCIEL4_TW,
+            poll_lower=lambda: MYCIEL4_TW,
+            poll_interval=1,
+        )
+        result = branch_and_bound_treewidth(
+            graph, budget=SearchBudget(hooks=hooks)
+        )
+        assert result.upper_bound >= MYCIEL4_TW
+        assert result.lower_bound == MYCIEL4_TW
+        baseline = branch_and_bound_treewidth(graph)
+        assert result.stats.nodes_expanded < baseline.stats.nodes_expanded
+
+    def test_unhelpful_external_bounds_change_nothing(self):
+        # Looser-than-local external bounds must not affect the result.
+        graph = get_instance("myciel3").build()
+        hooks = BoundHooks(
+            poll_upper=lambda: 10_000,
+            poll_lower=lambda: 0,
+            poll_interval=1,
+        )
+        result = astar_treewidth(graph, budget=SearchBudget(hooks=hooks))
+        assert result.exact
+        assert result.width == MYCIEL3_TW
+
+    def test_search_publishes_its_bounds(self):
+        graph = get_instance("myciel3").build()
+        published = []
+        hooks = BoundHooks(
+            publish_upper=lambda v: published.append(("ub", v)),
+            publish_lower=lambda v: published.append(("lb", v)),
+        )
+        result = astar_treewidth(graph, budget=SearchBudget(hooks=hooks))
+        assert result.exact
+        kinds = {kind for kind, _ in published}
+        assert kinds == {"ub", "lb"}
+        assert ("ub", MYCIEL3_TW) in published
+        assert result.stats.bounds_published == len(published)
+
+    def test_ga_stops_on_external_lower_bound(self):
+        # A proven external lb at the GA's incumbent fitness means the
+        # GA cannot improve anything: it must stop at the next
+        # generation boundary instead of burning its budget.
+        graph = get_instance("myciel4").build()
+        import random
+
+        hooks = BoundHooks(poll_lower=lambda: MYCIEL4_TW)
+        result = ga_treewidth(
+            graph,
+            GAParameters(population_size=20, generations=500),
+            rng=random.Random(0),
+            hooks=hooks,
+        )
+        assert result.stopped_by_bound
+        assert result.best_fitness >= MYCIEL4_TW
+        assert result.generations_run < 500
+
+
+class TestBackendRegistry:
+    def test_defaults_resolve(self):
+        for metric, names in DEFAULT_BACKENDS.items():
+            specs = resolve_backends(None, metric)
+            assert [s.name for s in specs] == list(names)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backends(["astar-tw", "nope"], "tw")
+
+    def test_metric_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="computes tw, not ghw"):
+            resolve_backends(["astar-tw"], "ghw")
+
+    def test_crash_backend_matches_any_metric(self):
+        assert resolve_backends(["crash"], "tw")[0] is BACKENDS["crash"]
+        assert resolve_backends(["crash"], "ghw")[0] is BACKENDS["crash"]
+
+
+class TestPortfolioDeterministic:
+    def test_bit_reproducible_under_fixed_seeds(self):
+        graph = get_instance("myciel3").build()
+        runs = [
+            run_portfolio(
+                graph, jobs=2, seed=7, deterministic=True, max_nodes=50_000
+            )
+            for _ in range(2)
+        ]
+        first, second = runs
+        assert first.width == second.width == MYCIEL3_TW
+        assert first.exact and second.exact
+        assert first.best_backend == second.best_backend
+        assert first.ordering == second.ordering
+        assert event_keys(first.events) == event_keys(second.events)
+        for name in first.reports:
+            a, b = first.reports[name], second.reports[name]
+            assert (a.upper_bound, a.lower_bound, a.nodes, a.ordering) == (
+                b.upper_bound, b.lower_bound, b.nodes, b.ordering
+            )
+
+    def test_deterministic_ghw(self):
+        hypergraph = get_instance("adder_5").build()
+        result = run_portfolio(
+            hypergraph, jobs=2, deterministic=True, max_nodes=50_000
+        )
+        assert result.metric == "ghw"
+        assert result.exact
+        assert result.width == 2
+
+    def test_deterministic_events_in_backend_order(self):
+        graph = get_instance("myciel3").build()
+        result = run_portfolio(graph, jobs=2, deterministic=True)
+        order = {name: i for i, name in enumerate(DEFAULT_BACKENDS["tw"])}
+        keys = [(order[e.backend], e.seq) for e in result.events]
+        assert keys == sorted(keys)
+
+
+class TestPortfolioLive:
+    def test_exchange_is_sound_on_known_widths(self):
+        # Live bound exchange must still land exactly on the known
+        # optimum — shared incumbents prune, they never mislead.
+        for name, optimum in (("myciel3", 5), ("queen5_5", 18)):
+            result = run_portfolio(
+                get_instance(name).build(), jobs=2, budget_seconds=60.0
+            )
+            assert result.exact, name
+            assert result.width == optimum, name
+            assert result.lower_bound == optimum, name
+            assert result.ordering is not None
+
+    def test_single_job_serial_waves(self):
+        result = run_portfolio(
+            get_instance("myciel3").build(),
+            backends=["min-fill", "astar-tw"],
+            jobs=1,
+            budget_seconds=30.0,
+        )
+        assert result.exact
+        assert result.width == MYCIEL3_TW
+
+    def test_crashing_worker_does_not_sink_the_race(self):
+        result = run_portfolio(
+            get_instance("myciel3").build(),
+            backends=["crash", "bb-tw"],
+            jobs=2,
+            budget_seconds=30.0,
+        )
+        assert result.reports["crash"].error is not None
+        assert "injected" in result.reports["crash"].error
+        assert result.exact
+        assert result.width == MYCIEL3_TW
+        assert result.best_backend == "bb-tw"
+
+    def test_all_workers_failing_raises(self):
+        with pytest.raises(PortfolioError, match="every backend failed"):
+            run_portfolio(
+                get_instance("myciel3").build(),
+                backends=["crash"],
+                jobs=1,
+                budget_seconds=10.0,
+            )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_portfolio(get_instance("myciel3").build(), jobs=0)
