@@ -19,7 +19,14 @@ import pathlib
 import subprocess
 from collections.abc import Sequence
 
+from repro.telemetry import Metrics
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Registry the benchmark modules record into (counters/gauges/histograms);
+# ``report`` stamps its snapshot into every results JSON, so a results
+# file always says how much work produced it, not just the table.
+METRICS = Metrics()
 
 
 def scale() -> float:
@@ -96,6 +103,8 @@ def report(name: str, title: str, headers, rows, extra: dict | None = None) -> s
     Writes both a plain-text table (``<name>.txt``) and a
     machine-readable ``<name>.json`` with the raw rows; ``extra`` merges
     additional top-level keys (e.g. summary statistics) into the JSON.
+    Every JSON also carries a snapshot of the module-level ``METRICS``
+    registry (record into it with ``record_search`` or directly).
     """
     text = format_table(title, headers, rows)
     print("\n" + text + "\n")
@@ -109,6 +118,7 @@ def report(name: str, title: str, headers, rows, extra: dict | None = None) -> s
         "scale": scale(),
         "headers": list(headers),
         "rows": [list(row) for row in rows],
+        "metrics": METRICS.snapshot(),
     }
     if extra:
         payload.update(extra)
@@ -120,3 +130,22 @@ def report(name: str, title: str, headers, rows, extra: dict | None = None) -> s
 
 def provenance_flag(instance) -> str:
     return "" if instance.provenance == "exact" else "*"
+
+
+def record_search(result, prefix: str = "search") -> None:
+    """Fold one :class:`~repro.search.common.SearchResult`'s stats into
+    the harness ``METRICS`` (call it per run; ``report`` does the rest).
+    """
+    stats = result.stats
+    METRICS.counter(f"{prefix}.runs").inc()
+    METRICS.counter(f"{prefix}.nodes_expanded").inc(stats.nodes_expanded)
+    METRICS.counter(f"{prefix}.reductions_forced").inc(
+        stats.reductions_forced
+    )
+    METRICS.counter(f"{prefix}.bounds_published").inc(stats.bounds_published)
+    if stats.budget_exhausted:
+        METRICS.counter(f"{prefix}.budget_exhausted").inc()
+    METRICS.histogram(f"{prefix}.elapsed_seconds").observe(
+        stats.elapsed_seconds
+    )
+    METRICS.histogram(f"{prefix}.max_frontier").observe(stats.max_frontier)

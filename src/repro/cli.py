@@ -29,10 +29,12 @@ from .hypergraph import Graph, Hypergraph, parse_dimacs, parse_hypergraph
 from .hypergraph.io import write_tree_decomposition
 from .instances import UnknownInstanceError, get_instance, list_instances
 from .search import (
+    BoundHooks,
     SearchBudget,
     astar_treewidth,
     branch_and_bound_ghw,
 )
+from .telemetry import NULL_TRACER, JsonlTracer, Metrics, replay_counters
 
 
 def load_structure(spec: str) -> Graph | Hypergraph:
@@ -61,54 +63,74 @@ def load_structure(spec: str) -> Graph | Hypergraph:
         )
 
 
+def _make_tracer(args: argparse.Namespace):
+    """The run's tracer (JSONL to ``--trace FILE``) or the no-op one."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        return NULL_TRACER
+    return JsonlTracer(path)
+
+
 def cmd_tw(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
-    if args.ga:
-        result = ga_treewidth(
+    tracer = _make_tracer(args)
+    with tracer:
+        if args.ga:
+            result = ga_treewidth(
+                structure,
+                GAParameters(population_size=40, generations=60),
+                rng=random.Random(args.seed),
+                max_seconds=args.budget,
+                hooks=BoundHooks(tracer=tracer),
+            )
+            print(f"treewidth <= {result.best_fitness} "
+                  f"(GA-tw, {result.evaluations} evaluations)")
+            return 0
+        search = astar_treewidth(
             structure,
-            GAParameters(population_size=40, generations=60),
-            rng=random.Random(args.seed),
-            max_seconds=args.budget,
+            budget=SearchBudget(max_seconds=args.budget, tracer=tracer),
         )
-        print(f"treewidth <= {result.best_fitness} "
-              f"(GA-tw, {result.evaluations} evaluations)")
+        if search.exact:
+            print(f"treewidth = {search.width} "
+                  f"(A*-tw, {search.stats.nodes_expanded} nodes)")
+        else:
+            print(f"treewidth in [{search.lower_bound}, {search.upper_bound}] "
+                  "(budget exhausted)")
+        if args.metrics:
+            print(search.summary("treewidth"))
         return 0
-    search = astar_treewidth(
-        structure, budget=SearchBudget(max_seconds=args.budget)
-    )
-    if search.exact:
-        print(f"treewidth = {search.width} "
-              f"(A*-tw, {search.stats.nodes_expanded} nodes)")
-    else:
-        print(f"treewidth in [{search.lower_bound}, {search.upper_bound}] "
-              "(budget exhausted)")
-    return 0
 
 
 def cmd_ghw(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     if isinstance(structure, Graph):
         structure = Hypergraph.from_graph(structure)
-    if args.ga:
-        result = ga_ghw(
+    tracer = _make_tracer(args)
+    with tracer:
+        if args.ga:
+            result = ga_ghw(
+                structure,
+                GAParameters(population_size=24, generations=40),
+                rng=random.Random(args.seed),
+                max_seconds=args.budget,
+                hooks=BoundHooks(tracer=tracer),
+            )
+            print(f"ghw <= {result.best_fitness} "
+                  f"(GA-ghw, {result.evaluations} evaluations)")
+            return 0
+        search = branch_and_bound_ghw(
             structure,
-            GAParameters(population_size=24, generations=40),
-            rng=random.Random(args.seed),
-            max_seconds=args.budget,
+            budget=SearchBudget(max_seconds=args.budget, tracer=tracer),
         )
-        print(f"ghw <= {result.best_fitness} "
-              f"(GA-ghw, {result.evaluations} evaluations)")
+        if search.exact:
+            print(f"ghw = {search.width} "
+                  f"(BB-ghw, {search.stats.nodes_expanded} nodes)")
+        else:
+            print(f"ghw in [{search.lower_bound}, {search.upper_bound}] "
+                  "(budget exhausted)")
+        if args.metrics:
+            print(search.summary("ghw"))
         return 0
-    search = branch_and_bound_ghw(
-        structure, budget=SearchBudget(max_seconds=args.budget)
-    )
-    if search.exact:
-        print(f"ghw = {search.width} "
-              f"(BB-ghw, {search.stats.nodes_expanded} nodes)")
-    else:
-        print(f"ghw in [{search.lower_bound}, {search.upper_bound}] "
-              "(budget exhausted)")
-    return 0
 
 
 def cmd_hw(args: argparse.Namespace) -> int:
@@ -142,6 +164,7 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
         seed=args.seed,
         deterministic=args.deterministic,
         metric=metric,
+        trace=args.trace,
     )
     label = "treewidth" if result.metric == "tw" else "ghw"
     names = backends or list(DEFAULT_BACKENDS[result.metric])
@@ -176,6 +199,33 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
         for event in result.events:
             print(f"    {event.at:7.3f}s {event.backend:12s} "
                   f"{event.kind}={event.value}")
+    if result.trace_path is not None:
+        print(f"  trace: {result.trace_path} "
+              f"({result.trace_records} records)")
+    if args.metrics:
+        metrics = Metrics()
+        for name, report in result.reports.items():
+            if report.error is not None:
+                metrics.counter("portfolio.worker_errors").inc()
+                continue
+            metrics.counter("portfolio.nodes").inc(report.nodes)
+            metrics.counter("portfolio.bound_events").inc(len(report.events))
+            metrics.histogram("portfolio.worker_seconds").observe(
+                report.elapsed_seconds
+            )
+        snapshot = metrics.snapshot()
+        print("  metrics:")
+        for name, value in snapshot["counters"].items():
+            print(f"    {name} = {value}")
+        for name, summary in snapshot["histograms"].items():
+            print(f"    {name}: count={summary['count']} "
+                  f"mean={summary['mean']:.3f} max={summary['max']:.3f}")
+        if result.trace_path is not None:
+            from .telemetry import read_jsonl
+
+            replayed = replay_counters(read_jsonl(result.trace_path))
+            for name in sorted(replayed):
+                print(f"    trace.{name} = {replayed[name]['count']}")
     return 0
 
 
@@ -229,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--ga", action="store_true",
                        help="use the genetic algorithm (upper bound only)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a JSONL telemetry trace of the run")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the run's full stats summary")
         p.set_defaults(func=func)
 
     p = sub.add_parser(
@@ -262,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "bound merging — bit-reproducible results")
     p.add_argument("--timeline", action="store_true",
                    help="print the merged bound-event timeline")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write the merged multi-worker JSONL telemetry "
+                   "trace here")
+    p.add_argument("--metrics", action="store_true",
+                   help="print aggregated run metrics (and trace event "
+                   "counts with --trace)")
     p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("decompose",

@@ -20,6 +20,7 @@ from collections.abc import Hashable
 
 from ..decomposition.ghd import GeneralizedHypertreeDecomposition
 from ..decomposition.tree_decomposition import TreeDecomposition
+from ..telemetry import NULL_TRACER
 from .acyclic import JoinTree, acyclic_solving
 from .csp import CSP, CSPError
 from .relation import Relation, cartesian_relation
@@ -53,7 +54,7 @@ def _decomposition_join_tree(td: TreeDecomposition) -> JoinTree:
 
 
 def solve_from_tree_decomposition(
-    csp: CSP, td: TreeDecomposition
+    csp: CSP, td: TreeDecomposition, tracer=NULL_TRACER
 ) -> dict | None:
     """Join Tree Clustering (Fig. 2.8): solve ``csp`` using a tree
     decomposition of its constraint hypergraph.
@@ -68,32 +69,45 @@ def solve_from_tree_decomposition(
             "not a tree decomposition of the constraint hypergraph: "
             + "; ".join(problems)
         )
-    tree = _decomposition_join_tree(td)
-    # 1. Place every constraint at one node containing its scope.
-    placement: dict[Hashable, list] = {node: [] for node in td.nodes}
-    for constraint in csp.constraints:
-        scope = frozenset(constraint.scope)
-        host = next(node for node in td.nodes if scope <= td.bag(node))
-        placement[host].append(constraint)
-    # 2. Solve every subproblem: all consistent bag assignments.
-    for node in td.nodes:
-        bag = sorted(td.bag(node), key=repr)
-        relation = cartesian_relation(bag, csp.domains)
-        for constraint in placement[node]:
-            relation = relation.natural_join(constraint.relation)
-            relation = relation.project(bag)
-        tree.set_relation(node, relation)
-    # 3. Acyclic Solving on the resulting join tree.
-    assignment = acyclic_solving(tree)
-    if assignment is None:
-        return None
-    for variable in csp.variables:
-        assignment.setdefault(variable, csp.domains[variable][0])
-    return assignment
+    tracing = bool(getattr(tracer, "enabled", False))
+    with tracer.span(
+        "csp.jtc", nodes=len(td.nodes), constraints=len(csp.constraints)
+    ):
+        tree = _decomposition_join_tree(td)
+        # 1. Place every constraint at one node containing its scope.
+        placement: dict[Hashable, list] = {node: [] for node in td.nodes}
+        for constraint in csp.constraints:
+            scope = frozenset(constraint.scope)
+            host = next(node for node in td.nodes if scope <= td.bag(node))
+            placement[host].append(constraint)
+        # 2. Solve every subproblem: all consistent bag assignments.
+        for node in td.nodes:
+            bag = sorted(td.bag(node), key=repr)
+            relation = cartesian_relation(bag, csp.domains)
+            for constraint in placement[node]:
+                relation = relation.natural_join(constraint.relation)
+                relation = relation.project(bag)
+            tree.set_relation(node, relation)
+            if tracing:
+                # Per-node cost evidence: the O(d^(w+1)) guarantee shows
+                # up as the enumerated relation's row count.
+                tracer.metric(
+                    "csp_node", bag=len(bag), rows=len(relation)
+                )
+        # 3. Acyclic Solving on the resulting join tree.
+        with tracer.span("csp.acyclic_solving"):
+            assignment = acyclic_solving(tree)
+        if tracing:
+            tracer.event("csp_solved", satisfiable=assignment is not None)
+        if assignment is None:
+            return None
+        for variable in csp.variables:
+            assignment.setdefault(variable, csp.domains[variable][0])
+        return assignment
 
 
 def solve_from_ghd(
-    csp: CSP, ghd: GeneralizedHypertreeDecomposition
+    csp: CSP, ghd: GeneralizedHypertreeDecomposition, tracer=NULL_TRACER
 ) -> dict | None:
     """Solve ``csp`` from a generalized hypertree decomposition of its
     constraint hypergraph (Fig. 2.9).
@@ -109,39 +123,59 @@ def solve_from_ghd(
         raise CSPError(
             "not a GHD of the constraint hypergraph: " + "; ".join(problems)
         )
-    complete = ghd.completed(hypergraph)
-    tree = _decomposition_join_tree(complete)
-    constraint_by_name = {c.name: c for c in csp.constraints}
-    for node in complete.nodes:
-        bag = sorted(complete.bag(node), key=repr)
-        relation: Relation | None = None
-        for name in sorted(complete.cover(node), key=repr):
-            constraint = constraint_by_name[name]
-            relation = (
-                constraint.relation
-                if relation is None
-                else relation.natural_join(constraint.relation)
-            )
-        if relation is None:
-            # Empty λ is only legal for empty bags; attach the trivial
-            # relation so the join tree stays total.
-            relation = Relation((), [()])
-        relation = relation.project(bag)
-        tree.set_relation(node, relation)
-    assignment = acyclic_solving(tree)
-    if assignment is None:
-        return None
-    for variable in csp.variables:
-        assignment.setdefault(variable, csp.domains[variable][0])
-    return assignment
+    tracing = bool(getattr(tracer, "enabled", False))
+    with tracer.span(
+        "csp.ghd_solve", nodes=len(ghd.nodes),
+        constraints=len(csp.constraints),
+    ):
+        complete = ghd.completed(hypergraph)
+        tree = _decomposition_join_tree(complete)
+        constraint_by_name = {c.name: c for c in csp.constraints}
+        for node in complete.nodes:
+            bag = sorted(complete.bag(node), key=repr)
+            relation: Relation | None = None
+            cover = sorted(complete.cover(node), key=repr)
+            for name in cover:
+                constraint = constraint_by_name[name]
+                relation = (
+                    constraint.relation
+                    if relation is None
+                    else relation.natural_join(constraint.relation)
+                )
+            if relation is None:
+                # Empty λ is only legal for empty bags; attach the trivial
+                # relation so the join tree stays total.
+                relation = Relation((), [()])
+            relation = relation.project(bag)
+            tree.set_relation(node, relation)
+            if tracing:
+                # The O(|I|^λ) guarantee: joined λ-relations per node.
+                tracer.metric(
+                    "csp_node",
+                    bag=len(bag),
+                    cover=len(cover),
+                    rows=len(relation),
+                )
+        with tracer.span("csp.acyclic_solving"):
+            assignment = acyclic_solving(tree)
+        if tracing:
+            tracer.event("csp_solved", satisfiable=assignment is not None)
+        if assignment is None:
+            return None
+        for variable in csp.variables:
+            assignment.setdefault(variable, csp.domains[variable][0])
+        return assignment
 
 
-def solve(csp: CSP, method: str = "ghd") -> dict | None:
+def solve(csp: CSP, method: str = "ghd", tracer=NULL_TRACER) -> dict | None:
     """One-call solver: decompose the constraint hypergraph with the
     min-fill heuristic and solve from the resulting decomposition.
 
     ``method``: ``"ghd"`` (bucket elimination + greedy covers, Fig. 2.9),
     ``"td"`` (bucket elimination, Fig. 2.8) or ``"backtracking"``.
+
+    ``tracer`` traces the two phases (decomposition, then the per-node
+    relational work) into the same record stream the width searches use.
     """
     if method == "backtracking":
         return csp.solve_backtracking()
@@ -151,11 +185,19 @@ def solve(csp: CSP, method: str = "ghd") -> dict | None:
     hypergraph = _constrained_hypergraph(csp)
     if hypergraph.num_edges == 0:
         return {v: csp.domains[v][0] for v in csp.variables}
-    ordering = min_fill_ordering(hypergraph)
+    with tracer.span(
+        "csp.decompose",
+        variables=len(csp.variables),
+        edges=hypergraph.num_edges,
+        method=method,
+    ):
+        ordering = min_fill_ordering(hypergraph)
+        if method == "td":
+            td = bucket_elimination(hypergraph, ordering)
+        elif method == "ghd":
+            ghd = ghd_from_ordering(hypergraph, ordering)
+        else:
+            raise ValueError(f"unknown method {method!r}")
     if method == "td":
-        td = bucket_elimination(hypergraph, ordering)
-        return solve_from_tree_decomposition(csp, td)
-    if method == "ghd":
-        ghd = ghd_from_ordering(hypergraph, ordering)
-        return solve_from_ghd(csp, ghd)
-    raise ValueError(f"unknown method {method!r}")
+        return solve_from_tree_decomposition(csp, td, tracer=tracer)
+    return solve_from_ghd(csp, ghd, tracer=tracer)

@@ -20,10 +20,15 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..search.common import BoundHooks
+from ..telemetry import NULL_TRACER
 from .operators import CROSSOVER_OPERATORS, MUTATION_OPERATORS
 from .selection import tournament_selection
 
 Fitness = Callable[[list], float]
+
+# Traced runs record a "ga_generation" sample this often (improvements
+# of the best individual are always recorded, between samples too).
+TRACE_GENERATION_SAMPLE = 16
 
 
 @dataclass
@@ -95,69 +100,110 @@ def run_permutation_ga(
     further, so the remaining generations are wasted work).
     """
     parameters.validate()
-    start = time.monotonic()
-    crossover = CROSSOVER_OPERATORS[parameters.crossover]
-    mutation = MUTATION_OPERATORS[parameters.mutation]
-    base = list(elements)
+    tracer = hooks.tracer if hooks is not None else NULL_TRACER
+    tracing = bool(getattr(tracer, "enabled", False))
+    with tracer.span(
+        "ga",
+        individuals=len(elements),
+        population=parameters.population_size,
+        generations=parameters.generations,
+    ):
+        start = time.monotonic()
+        crossover = CROSSOVER_OPERATORS[parameters.crossover]
+        mutation = MUTATION_OPERATORS[parameters.mutation]
+        base = list(elements)
 
-    population: list[list] = []
-    if seed_individuals:
-        for seed in seed_individuals:
-            if set(seed) != set(base) or len(seed) != len(base):
-                raise ValueError("seed individual is not a permutation")
-            population.append(list(seed))
-    while len(population) < parameters.population_size:
-        individual = list(base)
-        rng.shuffle(individual)
-        population.append(individual)
-    population = population[: parameters.population_size]
+        population: list[list] = []
+        if seed_individuals:
+            for seed in seed_individuals:
+                if set(seed) != set(base) or len(seed) != len(base):
+                    raise ValueError("seed individual is not a permutation")
+                population.append(list(seed))
+        while len(population) < parameters.population_size:
+            individual = list(base)
+            rng.shuffle(individual)
+            population.append(individual)
+        population = population[: parameters.population_size]
 
-    fitnesses = [fitness(ind) for ind in population]
-    evaluations = len(population)
-    best_index = min(range(len(population)), key=fitnesses.__getitem__)
-    best_fitness = fitnesses[best_index]
-    best_individual = list(population[best_index])
-    history = [best_fitness]
-    if hooks is not None and hooks.publish_upper is not None:
-        hooks.publish_upper(int(best_fitness))
-
-    generations_run = 0
-    stopped_by_bound = False
-    for _generation in range(parameters.generations):
-        if max_seconds is not None and time.monotonic() - start > max_seconds:
-            break
-        if hooks is not None and hooks.poll_lower is not None:
-            external_lb = hooks.poll_lower()
-            if external_lb is not None and best_fitness <= external_lb:
-                stopped_by_bound = True
-                break
-        generations_run += 1
-        population = tournament_selection(
-            population, fitnesses, parameters.tournament_size, rng
-        )
-        _recombine(population, crossover, parameters.crossover_rate, rng)
-        for i, individual in enumerate(population):
-            if rng.random() < parameters.mutation_rate:
-                population[i] = mutation(individual, rng)
         fitnesses = [fitness(ind) for ind in population]
-        evaluations += len(population)
-        gen_best = min(range(len(population)), key=fitnesses.__getitem__)
-        if fitnesses[gen_best] < best_fitness:
-            best_fitness = fitnesses[gen_best]
-            best_individual = list(population[gen_best])
-            if hooks is not None and hooks.publish_upper is not None:
-                hooks.publish_upper(int(best_fitness))
-        history.append(best_fitness)
+        evaluations = len(population)
+        best_index = min(range(len(population)), key=fitnesses.__getitem__)
+        best_fitness = fitnesses[best_index]
+        best_individual = list(population[best_index])
+        history = [best_fitness]
+        if hooks is not None and hooks.publish_upper is not None:
+            hooks.publish_upper(int(best_fitness))
+        if tracing:
+            tracer.event("ga_improved", generation=0, best=best_fitness)
 
-    return GAResult(
-        best_fitness=best_fitness,
-        best_individual=best_individual,
-        generations_run=generations_run,
-        evaluations=evaluations,
-        history=history,
-        elapsed_seconds=time.monotonic() - start,
-        stopped_by_bound=stopped_by_bound,
-    )
+        generations_run = 0
+        stopped_by_bound = False
+        for _generation in range(parameters.generations):
+            if (
+                max_seconds is not None
+                and time.monotonic() - start > max_seconds
+            ):
+                break
+            if hooks is not None and hooks.poll_lower is not None:
+                external_lb = hooks.poll_lower()
+                if external_lb is not None and best_fitness <= external_lb:
+                    stopped_by_bound = True
+                    if tracing:
+                        tracer.event(
+                            "ga_stopped_by_bound",
+                            generation=generations_run,
+                            bound=external_lb,
+                        )
+                    break
+            generations_run += 1
+            population = tournament_selection(
+                population, fitnesses, parameters.tournament_size, rng
+            )
+            _recombine(population, crossover, parameters.crossover_rate, rng)
+            for i, individual in enumerate(population):
+                if rng.random() < parameters.mutation_rate:
+                    population[i] = mutation(individual, rng)
+            fitnesses = [fitness(ind) for ind in population]
+            evaluations += len(population)
+            gen_best = min(range(len(population)), key=fitnesses.__getitem__)
+            if fitnesses[gen_best] < best_fitness:
+                best_fitness = fitnesses[gen_best]
+                best_individual = list(population[gen_best])
+                if hooks is not None and hooks.publish_upper is not None:
+                    hooks.publish_upper(int(best_fitness))
+                if tracing:
+                    tracer.event(
+                        "ga_improved",
+                        generation=generations_run,
+                        best=best_fitness,
+                    )
+            history.append(best_fitness)
+            if tracing and generations_run % TRACE_GENERATION_SAMPLE == 0:
+                tracer.event(
+                    "ga_generation",
+                    generation=generations_run,
+                    best=best_fitness,
+                    evaluations=evaluations,
+                )
+
+        result = GAResult(
+            best_fitness=best_fitness,
+            best_individual=best_individual,
+            generations_run=generations_run,
+            evaluations=evaluations,
+            history=history,
+            elapsed_seconds=time.monotonic() - start,
+            stopped_by_bound=stopped_by_bound,
+        )
+        if tracing:
+            tracer.event(
+                "ga_finish",
+                best=best_fitness,
+                generations=generations_run,
+                evaluations=evaluations,
+                stopped_by_bound=stopped_by_bound,
+            )
+        return result
 
 
 def _recombine(

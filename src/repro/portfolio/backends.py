@@ -45,7 +45,9 @@ class BackendConfig:
 
     ``deterministic`` trades the wall-clock budget for a fixed amount of
     work (node budget for the searches, generation budget for the GA) so
-    a worker's outcome depends only on its seed.
+    a worker's outcome depends only on its seed.  ``trace`` turns on the
+    worker-local telemetry tracer (a bool, not a tracer object — the
+    config crosses the process boundary).
     """
 
     max_seconds: float | None = None
@@ -55,6 +57,7 @@ class BackendConfig:
     ga_population: int = 40
     ga_generations: int = 120
     poll_interval: int = 64
+    trace: bool = False
 
 
 @dataclass
@@ -78,6 +81,7 @@ class BackendReport:
     stopped_by_bound: bool = False
     error: str | None = None
     events: list = field(default_factory=list)
+    trace_records: list = field(default_factory=list)
 
 
 def _budget(config: BackendConfig, hooks: BoundHooks) -> SearchBudget:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
+from ..telemetry import NULL_TRACER, MemoryTracer, merge_records, write_jsonl
 from .backends import (
     BACKENDS,
     BackendConfig,
@@ -71,6 +72,8 @@ class PortfolioResult:
     elapsed_seconds: float
     jobs: int
     deterministic: bool
+    trace_path: str | None = None
+    trace_records: int = 0
 
     @property
     def width(self) -> int:
@@ -82,13 +85,22 @@ def _worker_main(name, structure, config, shared, report_queue, t0):
     """Process entry point: run one backend, send its report home.
 
     Every exception becomes an error report — a failing backend must
-    never take the portfolio down with it.
+    never take the portfolio down with it.  Traced runs buffer records
+    locally (a worker cannot append to the parent's file) and ship them
+    home inside the report; the tracer shares the parent's time base so
+    merged timelines line up.
     """
+    tracer = (
+        MemoryTracer(worker=name, t0=t0) if config.trace else NULL_TRACER
+    )
     recorder = EventRecorder(name, t0)
-    hooks = make_worker_hooks(shared, recorder, config.poll_interval)
+    hooks = make_worker_hooks(
+        shared, recorder, config.poll_interval, tracer=tracer
+    )
     start = time.monotonic()
     try:
-        report = BACKENDS[name].run(structure, config, hooks)
+        with tracer.span("worker", backend=name, seed=config.seed):
+            report = BACKENDS[name].run(structure, config, hooks)
     except Exception as exc:  # noqa: BLE001 — forwarded, not swallowed
         report = BackendReport(
             backend=name,
@@ -96,6 +108,8 @@ def _worker_main(name, structure, config, shared, report_queue, t0):
             elapsed_seconds=time.monotonic() - start,
         )
     report.events = recorder.events
+    if config.trace:
+        report.trace_records = tracer.records
     report_queue.put(report)
 
 
@@ -111,6 +125,7 @@ def run_portfolio(
     ga_population: int = 40,
     ga_generations: int = 120,
     poll_interval: int = 64,
+    trace: str | None = None,
 ) -> PortfolioResult:
     """Race solver backends on ``structure`` and merge their bounds.
 
@@ -120,6 +135,11 @@ def run_portfolio(
     handle both).  ``backends`` defaults to the full backend set for the
     metric; with fewer ``jobs`` than backends the surplus runs in later
     waves, seeded by the earlier waves' bounds.
+
+    ``trace`` (a file path) turns on telemetry: every worker traces into
+    a local buffer, the parent traces scheduling, and the merged
+    single-timeline JSONL is written to the path (validated by
+    ``python -m repro.telemetry.schema``).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -139,12 +159,19 @@ def run_portfolio(
         ga_population=ga_population,
         ga_generations=ga_generations,
         poll_interval=poll_interval,
+        trace=trace is not None,
     )
 
     ctx = multiprocessing.get_context()
     shared = None if deterministic else SharedBounds(ctx)
     report_queue = ctx.Queue()
     t0 = time.monotonic()
+    tracer = (
+        MemoryTracer(worker="portfolio", t0=t0)
+        if trace is not None
+        else NULL_TRACER
+    )
+    tracing = tracer.enabled
     grace = None if budget_seconds is None else 2.0 * budget_seconds + 30.0
 
     pending = list(enumerate(specs))
@@ -159,54 +186,87 @@ def run_portfolio(
         except queue_module.Empty:
             return False
         reports[report.backend] = report
+        if tracing:
+            tracer.event(
+                "worker_report",
+                backend=report.backend,
+                error=report.error,
+                upper_bound=report.upper_bound,
+                lower_bound=report.lower_bound,
+            )
         entry = running.pop(report.backend, None)
         if entry is not None:
             entry[0].join()
         return True
 
-    while pending or running:
-        while pending and len(running) < jobs:
-            index, spec = pending.pop(0)
-            config = replace(base_config, seed=seed + index)
-            process = ctx.Process(
-                target=_worker_main,
-                args=(spec.name, structure, config, shared, report_queue, t0),
-                daemon=True,
-            )
-            process.start()
-            running[spec.name] = (process, time.monotonic())
-        if drain():
-            continue
-        for name, (process, started) in list(running.items()):
-            if not process.is_alive():
-                # The report may still be in flight from the feeder
-                # thread; give it a moment to land before declaring the
-                # worker dead-without-report (hard crash).
-                while drain(timeout=0.2):
-                    pass
-                if name in reports:
-                    break
-                process.join()
-                running.pop(name)
-                code = process.exitcode
-                reports[name] = BackendReport(
-                    backend=name,
-                    error=f"worker exited without a report (exitcode {code})",
+    with tracer.span(
+        "portfolio",
+        metric=metric,
+        jobs=jobs,
+        backends=[spec.name for spec in specs],
+        deterministic=deterministic,
+    ):
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, spec = pending.pop(0)
+                config = replace(base_config, seed=seed + index)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        spec.name, structure, config, shared, report_queue, t0,
+                    ),
+                    daemon=True,
                 )
-            elif grace is not None and time.monotonic() - started > grace:
-                process.terminate()
-                process.join()
-                running.pop(name)
-                reports[name] = BackendReport(
-                    backend=name,
-                    error=f"worker exceeded the grace period ({grace:.0f}s); "
-                    "terminated",
-                )
+                process.start()
+                running[spec.name] = (process, time.monotonic())
+                if tracing:
+                    tracer.event(
+                        "worker_start", backend=spec.name, seed=seed + index
+                    )
+            if drain():
+                continue
+            for name, (process, started) in list(running.items()):
+                if not process.is_alive():
+                    # The report may still be in flight from the feeder
+                    # thread; give it a moment to land before declaring the
+                    # worker dead-without-report (hard crash).
+                    while drain(timeout=0.2):
+                        pass
+                    if name in reports:
+                        break
+                    process.join()
+                    running.pop(name)
+                    code = process.exitcode
+                    reports[name] = BackendReport(
+                        backend=name,
+                        error="worker exited without a report "
+                        f"(exitcode {code})",
+                    )
+                elif grace is not None and time.monotonic() - started > grace:
+                    process.terminate()
+                    process.join()
+                    running.pop(name)
+                    reports[name] = BackendReport(
+                        backend=name,
+                        error="worker exceeded the grace period "
+                        f"({grace:.0f}s); terminated",
+                    )
 
     ordered = [reports[spec.name] for spec in specs]
-    return _aggregate(
+    result = _aggregate(
         metric, ordered, time.monotonic() - t0, jobs, deterministic
     )
+    if trace is not None:
+        # One timeline: the parent's scheduling records plus every
+        # worker's buffered stream, chronological (worker order in
+        # deterministic mode), written as schema-valid JSONL.
+        merged = merge_records(
+            [tracer.records] + [r.trace_records for r in ordered],
+            deterministic=deterministic,
+        )
+        result.trace_records = write_jsonl(trace, merged)
+        result.trace_path = str(trace)
+    return result
 
 
 def _aggregate(

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 
 from ..search.common import BoundHooks
+from ..telemetry import NULL_TRACER
 
 # Sentinels for "no bound yet" (shared ints cannot hold None).
 _UNSET_UB = 2**62
@@ -107,27 +108,40 @@ def make_worker_hooks(
     shared: SharedBounds | None,
     recorder: EventRecorder,
     poll_interval: int = 64,
+    tracer=NULL_TRACER,
 ) -> BoundHooks:
     """Build the :class:`BoundHooks` a worker hands to its solver.
 
     With ``shared=None`` (deterministic mode) the hooks only record the
     worker's own bound stream — no cross-worker exchange — so the run's
     outcome depends on nothing but the worker's seed.
+
+    ``tracer`` rides along on the hooks (the solvers' telemetry seam);
+    every proposal that actually tightens the shared channel is
+    additionally traced as a ``bound_exchange`` event — the message
+    level of the portfolio's cooperation, one layer above the solvers'
+    own ``bound_publish`` stream.
     """
+    tracing = bool(getattr(tracer, "enabled", False))
     if shared is None:
         return BoundHooks(
             publish_upper=lambda v: recorder.record("ub", v),
             publish_lower=lambda v: recorder.record("lb", v),
             poll_interval=poll_interval,
+            tracer=tracer,
         )
 
     def publish_upper(value: int) -> None:
         if shared.propose_upper(value):
             recorder.record("ub", value)
+            if tracing:
+                tracer.event("bound_exchange", kind="ub", value=int(value))
 
     def publish_lower(value: int) -> None:
         if shared.propose_lower(value):
             recorder.record("lb", value)
+            if tracing:
+                tracer.event("bound_exchange", kind="lb", value=int(value))
 
     return BoundHooks(
         poll_upper=shared.upper,
@@ -135,4 +149,5 @@ def make_worker_hooks(
         publish_upper=publish_upper,
         publish_lower=publish_lower,
         poll_interval=poll_interval,
+        tracer=tracer,
     )

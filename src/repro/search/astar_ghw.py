@@ -74,11 +74,26 @@ def astar_ghw(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    span = clock.tracer.span(
+        "search", algo="astar-ghw", n=graph.num_vertices,
+        edges=hypergraph.num_edges, lb=lb, ub=ub,
+    )
+    with span:
+        return _astar_ghw_run(
+            graph, clock, stats, context, all_vertices, lb, ub, ub_ordering,
+            use_reductions, use_sas, use_pr2,
+        )
+
+
+def _astar_ghw_run(
+    graph, clock, stats, context, all_vertices, lb, ub, ub_ordering,
+    use_reductions, use_sas, use_pr2,
+):
     clock.publish_lower(lb)
     clock.publish_upper(ub)
     if clock.external_lb is not None and clock.external_lb >= ub:
         stats.bounds_adopted += 1
-        stats.bounds_published = clock.published
+        clock.finish(stats)
         return SearchResult(ub, ub, ub_ordering, True, stats)
     replayer = GraphReplayer(graph)
     counter = itertools.count()
@@ -90,6 +105,8 @@ def astar_ghw(
         return vertex
 
     forced = forced_vertex(graph, lb) if use_reductions else None
+    if forced is not None:
+        stats.reductions_forced += 1
     root = _State(
         f=lb,
         neg_depth=0,
@@ -121,8 +138,8 @@ def astar_ghw(
             if best_lb >= clock.prune_bound(best_ub):
                 # The proven lower bound met the global incumbent (see
                 # A*-tw): stop; exact only if our own incumbent is met.
-                stats.elapsed_seconds = clock.elapsed
-                stats.bounds_published = clock.published
+                stats.max_frontier = max(stats.max_frontier, len(queue))
+                clock.finish(stats)
                 lower = min(best_lb, best_ub)
                 return SearchResult(
                     best_ub, lower, best_ub_ordering, lower >= best_ub, stats
@@ -138,10 +155,10 @@ def astar_ghw(
                 clock.publish_upper(best_ub)
             if completion <= state.g or len(current) == 0:
                 # Goal: every completion has width exactly g.
-                stats.elapsed_seconds = clock.elapsed
+                stats.max_frontier = max(stats.max_frontier, len(queue))
                 clock.publish_upper(state.g)
                 clock.publish_lower(state.g)
-                stats.bounds_published = clock.published
+                clock.finish(stats)
                 return SearchResult(
                     state.g, state.g, best_ub_ordering, True, stats
                 )
@@ -176,6 +193,7 @@ def astar_ghw(
                     if fv is not None:
                         child_children = (fv,)
                         reduced = True
+                        stats.reductions_forced += 1
                 current.restore()
                 if f < clock.prune_bound(best_ub):
                     heapq.heappush(
@@ -191,19 +209,18 @@ def astar_ghw(
                         ),
                     )
             stats.max_frontier = max(stats.max_frontier, len(queue))
-        stats.elapsed_seconds = clock.elapsed
         # Queue exhausted: see A*-tw — the proven lower bound is the
         # final prune bound (ub standalone; possibly an external value).
         proven = max(clock.prune_bound(best_ub), best_lb)
         clock.publish_lower(proven)
-        stats.bounds_published = clock.published
+        clock.finish(stats)
         return SearchResult(
             best_ub, proven, best_ub_ordering, proven >= best_ub, stats
         )
     except BudgetExceeded:
         stats.budget_exhausted = True
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
+        stats.max_frontier = max(stats.max_frontier, len(queue))
+        clock.finish(stats)
         return SearchResult(
             best_ub, best_lb, best_ub_ordering, best_lb >= best_ub, stats
         )

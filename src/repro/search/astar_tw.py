@@ -200,11 +200,25 @@ def astar_treewidth(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
+    span = clock.tracer.span(
+        "search", algo="astar-tw", n=n, kernel=kernel, lb=lb, ub=ub
+    )
+    with span:
+        return _astar_treewidth_run(
+            graph, clock, stats, n, all_vertices, h_fn, lb, ub, ub_ordering,
+            use_reductions, use_pr2, memoize,
+        )
+
+
+def _astar_treewidth_run(
+    graph, clock, stats, n, all_vertices, h_fn, lb, ub, ub_ordering,
+    use_reductions, use_pr2, memoize,
+):
     clock.publish_lower(lb)
     clock.publish_upper(ub)
     if clock.external_lb is not None and clock.external_lb >= ub:
         stats.bounds_adopted += 1
-        stats.bounds_published = clock.published
+        clock.finish(stats)
         return SearchResult(ub, ub, ub_ordering, True, stats)
     replayer = GraphReplayer(graph)
     counter = itertools.count()
@@ -214,7 +228,7 @@ def astar_treewidth(
     # the mask is an O(1) canonical key for the eliminated vertex set).
     caches = _KernelCaches(h_fn, graph) if is_bit else None
 
-    root_children = _initial_children(graph, lb, use_reductions, caches)
+    root_children = _initial_children(graph, lb, use_reductions, caches, stats)
     root = _State(
         f=lb,
         neg_depth=0,
@@ -262,24 +276,22 @@ def astar_treewidth(
                 # the meeting incumbent is external, the certificate
                 # lives in another worker and the local result is an
                 # honest bracket.
-                stats.elapsed_seconds = clock.elapsed
                 stats.max_frontier = max(stats.max_frontier, len(queue))
-                stats.bounds_published = clock.published
+                clock.finish(stats)
                 lower = min(best_lb, ub)
                 return SearchResult(ub, lower, ub_ordering, lower >= ub, stats)
             current = replayer.move_to(state.ordering)
             remaining = len(current)
             if state.g >= remaining - 1:
                 ordering = list(state.ordering) + current.vertex_list()
-                stats.elapsed_seconds = clock.elapsed
                 stats.max_frontier = max(stats.max_frontier, len(queue))
                 clock.publish_upper(state.g)
                 clock.publish_lower(state.g)
-                stats.bounds_published = clock.published
+                clock.finish(stats)
                 return SearchResult(state.g, state.g, ordering, True, stats)
             for child in _expand(
                 state, current, replayer, h_fn, counter,
-                use_reductions, use_pr2, caches,
+                use_reductions, use_pr2, caches, stats,
             ):
                 completion = pr1_effective_width(child.g, remaining - 1)
                 if completion < ub:
@@ -296,15 +308,14 @@ def astar_treewidth(
         # bound is ub and the treewidth is exactly ub; with a tighter
         # external incumbent the certificate lives in another worker, so
         # we report our own witnessed ub against the proven lower bound.
-        stats.elapsed_seconds = clock.elapsed
         proven = max(clock.prune_bound(ub), best_lb)
         clock.publish_lower(proven)
-        stats.bounds_published = clock.published
+        clock.finish(stats)
         return SearchResult(ub, proven, ub_ordering, proven >= ub, stats)
     except BudgetExceeded:
         stats.budget_exhausted = True
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
+        stats.max_frontier = max(stats.max_frontier, len(queue))
+        clock.finish(stats)
         return SearchResult(ub, best_lb, ub_ordering, best_lb >= ub, stats)
 
 
@@ -313,6 +324,7 @@ def _initial_children(
     lower_bound: int,
     use_reductions: bool,
     caches: _KernelCaches | None = None,
+    stats: SearchStats | None = None,
 ) -> tuple[tuple, bool]:
     if use_reductions:
         if caches is not None:
@@ -320,6 +332,8 @@ def _initial_children(
         else:
             forced = find_reducible(graph, lower_bound)
         if forced is not None:
+            if stats is not None:
+                stats.reductions_forced += 1
             return (forced,), True
     return tuple(graph.vertex_list()), False
 
@@ -333,6 +347,7 @@ def _expand(
     use_reductions: bool,
     use_pr2: bool,
     caches: _KernelCaches | None = None,
+    stats: SearchStats | None = None,
 ) -> list[_State]:
     """Evaluate all children of ``state`` (graph positioned at its
     ordering on entry and on exit)."""
@@ -372,6 +387,8 @@ def _expand(
             if forced is not None:
                 child_children = (forced,)
                 reduced = True
+                if stats is not None:
+                    stats.reductions_forced += 1
         children.append(
             _State(
                 f=f,

@@ -69,46 +69,53 @@ def branch_and_bound_ghw(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
-    clock.publish_lower(lb)
-    clock.publish_upper(ub)
-    search = _GhwDfs(
-        graph, context, clock, stats, use_reductions, use_sas, use_pr2,
-        all_vertices,
+    span = clock.tracer.span(
+        "search", algo="bb-ghw", n=n, edges=hypergraph.num_edges,
+        lb=lb, ub=ub,
     )
-    search.ub = ub
-    search.ub_ordering = list(ub_ordering)
-    try:
-        forced = search.forced_vertex(lb) if use_reductions else None
-        roots = (forced,) if forced is not None else tuple(all_vertices)
-        search.descend([], 0, lb, roots, forced is not None)
-        stats.elapsed_seconds = clock.elapsed
-        # See BB-tw: a tighter external incumbent turns the completed DFS
-        # into a proof of ghw >= prune_bound; standalone it equals ub.
-        proven = clock.prune_bound(search.ub)
-        clock.publish_lower(proven)
-        stats.bounds_published = clock.published
-        return SearchResult(
-            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+    with span:
+        clock.publish_lower(lb)
+        clock.publish_upper(ub)
+        search = _GhwDfs(
+            graph, context, clock, stats, use_reductions, use_sas, use_pr2,
+            all_vertices,
         )
-    except BoundsConverged:
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
-        proven = min(search.converged_lb, search.ub)
-        return SearchResult(
-            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
-        )
-    except BudgetExceeded:
-        stats.budget_exhausted = True
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
-        best_lb = lb
-        if clock.external_lb is not None and clock.external_lb > best_lb:
-            best_lb = min(clock.external_lb, search.ub)
-            stats.bounds_adopted += 1
-        return SearchResult(
-            search.ub, best_lb, search.ub_ordering, best_lb >= search.ub,
-            stats,
-        )
+        search.ub = ub
+        search.ub_ordering = list(ub_ordering)
+        try:
+            forced = search.forced_vertex(lb) if use_reductions else None
+            if forced is not None:
+                stats.reductions_forced += 1
+            roots = (forced,) if forced is not None else tuple(all_vertices)
+            search.descend([], 0, lb, roots, forced is not None)
+            # See BB-tw: a tighter external incumbent turns the completed
+            # DFS into a proof of ghw >= prune_bound; standalone it
+            # equals ub.
+            proven = clock.prune_bound(search.ub)
+            clock.publish_lower(proven)
+            clock.finish(stats)
+            return SearchResult(
+                search.ub, proven, search.ub_ordering, proven >= search.ub,
+                stats,
+            )
+        except BoundsConverged:
+            clock.finish(stats)
+            proven = min(search.converged_lb, search.ub)
+            return SearchResult(
+                search.ub, proven, search.ub_ordering, proven >= search.ub,
+                stats,
+            )
+        except BudgetExceeded:
+            stats.budget_exhausted = True
+            best_lb = lb
+            if clock.external_lb is not None and clock.external_lb > best_lb:
+                best_lb = min(clock.external_lb, search.ub)
+                stats.bounds_adopted += 1
+            clock.finish(stats)
+            return SearchResult(
+                search.ub, best_lb, search.ub_ordering, best_lb >= search.ub,
+                stats,
+            )
 
 
 class _GhwDfs:
@@ -153,6 +160,10 @@ class _GhwDfs:
     ) -> None:
         self.clock.tick()
         self.stats.nodes_expanded += 1
+        # DFS memory axis: peak recursion depth (see BB-tw).
+        depth = len(prefix) + 1
+        if depth > self.stats.max_frontier:
+            self.stats.max_frontier = depth
         external_lb = self.clock.external_lb
         if external_lb is not None and external_lb >= self.clock.prune_bound(
             self.ub
@@ -203,6 +214,7 @@ class _GhwDfs:
                         if forced is not None:
                             child_children = (forced,)
                             child_reduced = True
+                            self.stats.reductions_forced += 1
                     prefix.append(vertex)
                     try:
                         self.descend(

@@ -88,54 +88,59 @@ def branch_and_bound_treewidth(
         return SearchResult(ub, ub, ub_ordering, True, stats)
 
     clock = (budget or SearchBudget()).start()
-    clock.publish_lower(lb)
-    clock.publish_upper(ub)
-    search = _DepthFirstSearch(
-        graph, h_fn, clock, stats, use_reductions, use_pr2, all_vertices
+    span = clock.tracer.span(
+        "search", algo="bb-tw", n=n, kernel=kernel, lb=lb, ub=ub
     )
-    search.ub = ub
-    search.ub_ordering = list(ub_ordering)
-    try:
-        if not use_reductions:
-            forced = None
-        elif search.caches is not None:
-            forced = search.caches.reducible(graph, lb)
-        else:
-            forced = find_reducible(graph, lb)
-        roots = (forced,) if forced is not None else tuple(all_vertices)
-        search.descend(prefix=[], g=0, f=lb, children=roots,
-                       reduced=forced is not None)
-        stats.elapsed_seconds = clock.elapsed
-        # With an external incumbent tighter than ours, subtrees were cut
-        # at its value; the DFS then proves tw >= that value while the
-        # certificate for the matching upper bound lives in another
-        # worker.  Standalone, prune_bound == search.ub and the result is
-        # exact as before.
-        proven = clock.prune_bound(search.ub)
-        clock.publish_lower(proven)
-        stats.bounds_published = clock.published
-        return SearchResult(
-            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
+    with span:
+        clock.publish_lower(lb)
+        clock.publish_upper(ub)
+        search = _DepthFirstSearch(
+            graph, h_fn, clock, stats, use_reductions, use_pr2, all_vertices
         )
-    except BoundsConverged:
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
-        proven = min(search.converged_lb, search.ub)
-        return SearchResult(
-            search.ub, proven, search.ub_ordering, proven >= search.ub, stats
-        )
-    except BudgetExceeded:
-        stats.budget_exhausted = True
-        stats.elapsed_seconds = clock.elapsed
-        stats.bounds_published = clock.published
-        best_lb = lb
-        if clock.external_lb is not None and clock.external_lb > best_lb:
-            best_lb = min(clock.external_lb, search.ub)
-            stats.bounds_adopted += 1
-        exact = best_lb >= search.ub
-        return SearchResult(
-            search.ub, best_lb, search.ub_ordering, exact, stats
-        )
+        search.ub = ub
+        search.ub_ordering = list(ub_ordering)
+        try:
+            if not use_reductions:
+                forced = None
+            elif search.caches is not None:
+                forced = search.caches.reducible(graph, lb)
+            else:
+                forced = find_reducible(graph, lb)
+            if forced is not None:
+                stats.reductions_forced += 1
+            roots = (forced,) if forced is not None else tuple(all_vertices)
+            search.descend(prefix=[], g=0, f=lb, children=roots,
+                           reduced=forced is not None)
+            # With an external incumbent tighter than ours, subtrees were
+            # cut at its value; the DFS then proves tw >= that value while
+            # the certificate for the matching upper bound lives in
+            # another worker.  Standalone, prune_bound == search.ub and
+            # the result is exact as before.
+            proven = clock.prune_bound(search.ub)
+            clock.publish_lower(proven)
+            clock.finish(stats)
+            return SearchResult(
+                search.ub, proven, search.ub_ordering, proven >= search.ub,
+                stats,
+            )
+        except BoundsConverged:
+            clock.finish(stats)
+            proven = min(search.converged_lb, search.ub)
+            return SearchResult(
+                search.ub, proven, search.ub_ordering, proven >= search.ub,
+                stats,
+            )
+        except BudgetExceeded:
+            stats.budget_exhausted = True
+            best_lb = lb
+            if clock.external_lb is not None and clock.external_lb > best_lb:
+                best_lb = min(clock.external_lb, search.ub)
+                stats.bounds_adopted += 1
+            clock.finish(stats)
+            exact = best_lb >= search.ub
+            return SearchResult(
+                search.ub, best_lb, search.ub_ordering, exact, stats
+            )
 
 
 class _DepthFirstSearch:
@@ -178,6 +183,11 @@ class _DepthFirstSearch:
     ) -> None:
         self.clock.tick()
         self.stats.nodes_expanded += 1
+        # For a DFS the memory axis is the recursion depth, reported in
+        # the slot the best-first searches use for their open list.
+        depth = len(prefix) + 1
+        if depth > self.stats.max_frontier:
+            self.stats.max_frontier = depth
         external_lb = self.clock.external_lb
         if external_lb is not None and external_lb >= self.clock.prune_bound(
             self.ub
@@ -243,6 +253,7 @@ class _DepthFirstSearch:
                         if forced is not None:
                             child_children = (forced,)
                             child_reduced = True
+                            self.stats.reductions_forced += 1
                     prefix.append(vertex)
                     try:
                         self.descend(

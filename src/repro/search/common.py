@@ -14,6 +14,11 @@ from dataclasses import dataclass, field
 
 from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph, Vertex
+from ..telemetry import NULL_TRACER
+
+# Node-expansion events are batched: one "node_batch" trace record per
+# this many ticks keeps traced runs readable and untraced runs cheap.
+TRACE_NODE_BATCH = 256
 
 
 class BudgetExceeded(Exception):
@@ -50,6 +55,9 @@ class BoundHooks:
             caller's proven lower bound.
         poll_interval: nodes between polls (polling crosses a process
             boundary in the portfolio; every node would be wasteful).
+        tracer: telemetry tap riding the same seam — the portfolio
+            installs a per-worker tracer here so solvers trace without
+            a second plumbing path.  Defaults to the no-op tracer.
     """
 
     poll_upper: Callable[[], int | None] | None = None
@@ -57,6 +65,7 @@ class BoundHooks:
     publish_upper: Callable[[int], None] | None = None
     publish_lower: Callable[[int], None] | None = None
     poll_interval: int = 64
+    tracer: object = NULL_TRACER
 
 
 @dataclass
@@ -69,11 +78,15 @@ class SearchBudget:
         max_seconds: wall-clock limit (``None`` = unlimited).
         hooks: optional :class:`BoundHooks` connecting the run to an
             external incumbent channel (portfolio mode).
+        tracer: telemetry tracer for the run; overrides the hooks'
+            tracer when set.  ``None`` falls back to the hooks' tracer
+            (or the no-op tracer).
     """
 
     max_nodes: int | None = None
     max_seconds: float | None = None
     hooks: BoundHooks | None = None
+    tracer: object | None = None
 
     def start(self) -> "_BudgetClock":
         return _BudgetClock(self)
@@ -96,6 +109,15 @@ class _BudgetClock:
         self.external_ub: int | None = None
         self.external_lb: int | None = None
         self.published = 0
+        self.adopted = 0
+        tracer = budget.tracer
+        if tracer is None:
+            tracer = (
+                self._hooks.tracer if self._hooks is not None else NULL_TRACER
+            )
+        self.tracer = tracer
+        # One cached bool keeps the untraced tick at a single branch.
+        self._tracing = bool(getattr(tracer, "enabled", False))
         if self._hooks is not None:
             self.poll()
 
@@ -103,6 +125,8 @@ class _BudgetClock:
         """Count one expanded node; raise :class:`BudgetExceeded` when the
         budget runs out.  The time check is sampled every 64 nodes."""
         self.nodes += 1
+        if self._tracing and self.nodes % TRACE_NODE_BATCH == 0:
+            self.tracer.event("node_batch", nodes=self.nodes)
         limit = self._budget.max_nodes
         if limit is not None and self.nodes > limit:
             raise BudgetExceeded
@@ -125,22 +149,42 @@ class _BudgetClock:
                 self.external_ub is None or value < self.external_ub
             ):
                 self.external_ub = value
+                self.adopted += 1
+                if self._tracing:
+                    self.tracer.event("bound_adopt", kind="ub", value=value)
         if hooks.poll_lower is not None:
             value = hooks.poll_lower()
             if value is not None and (
                 self.external_lb is None or value > self.external_lb
             ):
                 self.external_lb = value
+                self.adopted += 1
+                if self._tracing:
+                    self.tracer.event("bound_adopt", kind="lb", value=value)
 
     def publish_upper(self, value: int) -> None:
+        if self._tracing:
+            self.tracer.event("bound_publish", kind="ub", value=value)
         if self._hooks is not None and self._hooks.publish_upper is not None:
             self._hooks.publish_upper(value)
             self.published += 1
 
     def publish_lower(self, value: int) -> None:
+        if self._tracing:
+            self.tracer.event("bound_publish", kind="lb", value=value)
         if self._hooks is not None and self._hooks.publish_lower is not None:
             self._hooks.publish_lower(value)
             self.published += 1
+
+    def finish(self, stats: "SearchStats") -> "SearchStats":
+        """Stamp the run's final accounting into ``stats`` — every exit
+        path of every search funnels through here so no field is left
+        at its default on some paths but not others."""
+        stats.elapsed_seconds = self.elapsed
+        stats.bounds_published = self.published
+        if self._tracing:
+            self.tracer.event("search_finish", **stats.as_dict())
+        return stats
 
     def prune_bound(self, own_ub: int) -> int:
         """The bound to cut branches against: the tighter of the caller's
@@ -157,7 +201,15 @@ class _BudgetClock:
 
 @dataclass
 class SearchStats:
-    """Bookkeeping reported with every search result."""
+    """Bookkeeping reported with every search result.
+
+    ``max_frontier`` is the peak open-list size for the best-first
+    searches and the peak recursion depth for the depth-first ones (the
+    memory axis of the thesis' A*-vs-BB trade-off, §4.2).
+    ``reductions_forced`` counts nodes where a simplicial /
+    strongly-almost-simplicial vertex collapsed the branching to one
+    child (§4.4.3).
+    """
 
     nodes_expanded: int = 0
     max_frontier: int = 0
@@ -165,6 +217,19 @@ class SearchStats:
     budget_exhausted: bool = False
     bounds_adopted: int = 0
     bounds_published: int = 0
+    reductions_forced: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (trace ``search_finish`` events carry this)."""
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "max_frontier": self.max_frontier,
+            "elapsed_seconds": self.elapsed_seconds,
+            "budget_exhausted": self.budget_exhausted,
+            "bounds_adopted": self.bounds_adopted,
+            "bounds_published": self.bounds_published,
+            "reductions_forced": self.reductions_forced,
+        }
 
 
 @dataclass
@@ -186,6 +251,22 @@ class SearchResult:
     def width(self) -> int:
         """The best known width (the upper bound's witness)."""
         return self.upper_bound
+
+    def summary(self, metric: str = "width") -> str:
+        """One line with the bounds and the full stats — every counter
+        the search maintains, so nothing is collected but unreported."""
+        bounds = (
+            f"{metric} = {self.upper_bound}"
+            if self.exact
+            else f"{metric} in [{self.lower_bound}, {self.upper_bound}]"
+        )
+        s = self.stats
+        return (
+            f"{bounds} | nodes={s.nodes_expanded} frontier={s.max_frontier} "
+            f"reductions={s.reductions_forced} published={s.bounds_published} "
+            f"adopted={s.bounds_adopted} elapsed={s.elapsed_seconds:.3f}s"
+            f"{' budget-exhausted' if s.budget_exhausted else ''}"
+        )
 
 
 class GraphReplayer:

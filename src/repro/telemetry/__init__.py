@@ -1,0 +1,58 @@
+"""Zero-dependency observability for the width solvers.
+
+Two halves:
+
+* :mod:`~repro.telemetry.tracer` — timestamped JSONL span/event records
+  (search start/stop, node-expansion batches, bound improvements,
+  reduction hits, GA generations, portfolio bound exchanges), with a
+  no-op :data:`NULL_TRACER` default that keeps untraced hot paths at one
+  branch per tap;
+* :mod:`~repro.telemetry.metrics` — a counters/gauges/histograms
+  registry whose snapshots the benchmark harness stamps into results.
+
+Plus the trace :mod:`~repro.telemetry.schema` validator (runnable as
+``python -m repro.telemetry.schema``) and the per-worker timeline
+:mod:`~repro.telemetry.merge` used by the portfolio runner.
+"""
+
+from .merge import merge_records
+from .metrics import Counter, Gauge, Histogram, Metrics, SampleGate
+from .schema import (
+    TraceSchemaError,
+    replay_counters,
+    validate_file,
+    validate_record,
+    validate_records,
+)
+from .tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    Span,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MemoryTracer",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "SampleGate",
+    "Span",
+    "TraceSchemaError",
+    "Tracer",
+    "merge_records",
+    "read_jsonl",
+    "replay_counters",
+    "validate_file",
+    "validate_record",
+    "validate_records",
+    "write_jsonl",
+]

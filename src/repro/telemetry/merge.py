@@ -1,0 +1,61 @@
+"""Merging per-worker trace streams into one run timeline.
+
+Portfolio workers trace into worker-local buffers (a process cannot
+append to the parent's file without locking); the parent merges them
+after the race.  All workers share the parent's time base, so the
+default merge is chronological — ties broken by the caller's worker
+order and then the per-worker ``seq``, which keeps the result stable
+and each worker's own stream in order.
+
+``--deterministic`` portfolio runs forbid wall-clock-dependent output,
+so there the merge ignores ``t`` entirely and concatenates in worker
+order (matching the bound-event timeline's ordering rules).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .schema import TraceSchemaError
+
+
+def merge_records(
+    streams: Sequence[Iterable[dict]],
+    deterministic: bool = False,
+    worker_order: Sequence[str] | None = None,
+) -> list[dict]:
+    """Merge per-worker record streams into one ordered timeline.
+
+    Args:
+        streams: one iterable of records per worker (each already in
+            emission order).
+        deterministic: ignore timestamps; order by worker then seq.
+        worker_order: explicit worker ranking for tie-breaks; defaults
+            to first-appearance order across ``streams``.
+
+    Raises :class:`TraceSchemaError` if a stream interleaves multiple
+    workers inconsistently with ``worker_order`` (a merged stream must
+    come from exactly the declared workers).
+    """
+    rank: dict[str, int] = {}
+    if worker_order is not None:
+        rank = {worker: i for i, worker in enumerate(worker_order)}
+    records: list[dict] = []
+    for stream in streams:
+        for record in stream:
+            worker = record.get("worker")
+            if not isinstance(worker, str):
+                raise TraceSchemaError("record without a worker cannot merge")
+            if worker not in rank:
+                if worker_order is not None:
+                    raise TraceSchemaError(
+                        f"unexpected worker {worker!r} "
+                        f"(declared: {sorted(rank)})"
+                    )
+                rank[worker] = len(rank)
+            records.append(record)
+    if deterministic:
+        records.sort(key=lambda r: (rank[r["worker"]], r["seq"]))
+    else:
+        records.sort(key=lambda r: (r["t"], rank[r["worker"]], r["seq"]))
+    return records

@@ -1,0 +1,178 @@
+"""A tiny metrics registry: counters, gauges and histograms.
+
+The tracer (:mod:`repro.telemetry.tracer`) answers "what happened
+when"; this module answers "how much overall" — the per-run totals the
+thesis tabulates (nodes expanded, reductions fired, bounds exchanged).
+Instruments are plain objects with ``__slots__``; recording is an
+attribute update, cheap enough for warm paths, and truly hot paths
+(the search tick) batch through a :class:`SampleGate` so the common
+case stays a counter increment plus one modulo.
+
+No dependencies, no background threads, no global state: callers own a
+:class:`Metrics` registry and serialize it with :meth:`Metrics.snapshot`
+(plain dicts, JSON-ready — the benchmark harness stamps one into every
+results file).
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins measurement (e.g. current frontier size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count / sum / min / max.
+
+    Deliberately bucket-free — the consumers here want means and
+    extremes, and fixed buckets would need per-metric tuning.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return None if self.count == 0 else self.total / self.count
+
+
+class SampleGate:
+    """Admits every ``every``-th call: hot loops record through the gate
+    so the steady state is one increment and one comparison.
+
+    >>> gate = SampleGate(3)
+    >>> [gate.fire() for _ in range(6)]
+    [False, False, True, False, False, True]
+    """
+
+    __slots__ = ("every", "_count")
+
+    def __init__(self, every: int):
+        if every < 1:
+            raise ValueError("sample interval must be positive")
+        self.every = every
+        self._count = 0
+
+    def fire(self) -> bool:
+        self._count += 1
+        if self._count >= self.every:
+            self._count = 0
+            return True
+        return False
+
+
+class Metrics:
+    """A named registry of instruments.
+
+    Lookups create on first use, so call sites never pre-register::
+
+        metrics.counter("search.nodes").inc(256)
+        metrics.histogram("csp.relation_rows").observe(len(rel))
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters add, gauges last-write-win, histograms merge
+        their summaries."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            histogram.count += count
+            histogram.total += summary.get("sum", 0.0)
+            for bound, pick in (("min", min), ("max", max)):
+                value = summary.get(bound)
+                if value is None:
+                    continue
+                current = getattr(histogram, bound)
+                setattr(
+                    histogram,
+                    bound,
+                    value if current is None else pick(current, value),
+                )

@@ -1,0 +1,180 @@
+"""The trace record schema and its validator.
+
+Hand-rolled (no ``jsonschema`` dependency): a record is a JSON object
+with
+
+* ``v``     — int, the schema version (currently 1),
+* ``t``     — non-negative number, seconds since the run's time base,
+* ``worker``— non-empty string,
+* ``seq``   — int, strictly increasing per worker,
+* ``kind``  — one of ``span_start`` / ``span_end`` / ``event`` /
+  ``metric``,
+* ``name``  — non-empty string,
+* ``fields``— optional object; ``span_end`` must carry a numeric
+  ``fields.dur``.
+
+``validate_records`` additionally checks per-worker structure: ``seq``
+gaps/regressions are rejected and every ``span_end`` must close the
+innermost open span of its worker (spans nest properly).
+
+Runnable as a CLI for CI smoke checks::
+
+    python -m repro.telemetry.schema trace.jsonl
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from .tracer import KINDS, TRACE_VERSION, read_jsonl
+
+_REQUIRED = ("v", "t", "worker", "seq", "kind", "name")
+
+
+class TraceSchemaError(ValueError):
+    """A trace record (or file) violates the schema."""
+
+
+def validate_record(record: object, where: str = "record") -> dict:
+    """Check one record against the schema; returns it for chaining."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"{where}: not a JSON object")
+    for key in _REQUIRED:
+        if key not in record:
+            raise TraceSchemaError(f"{where}: missing key {key!r}")
+    if record["v"] != TRACE_VERSION:
+        raise TraceSchemaError(
+            f"{where}: unsupported version {record['v']!r} "
+            f"(expected {TRACE_VERSION})"
+        )
+    t = record["t"]
+    if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+        raise TraceSchemaError(f"{where}: t must be a non-negative number")
+    if not isinstance(record["worker"], str) or not record["worker"]:
+        raise TraceSchemaError(f"{where}: worker must be a non-empty string")
+    seq = record["seq"]
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise TraceSchemaError(f"{where}: seq must be a non-negative int")
+    if record["kind"] not in KINDS:
+        raise TraceSchemaError(
+            f"{where}: unknown kind {record['kind']!r} (expected {KINDS})"
+        )
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise TraceSchemaError(f"{where}: name must be a non-empty string")
+    fields = record.get("fields")
+    if fields is not None and not isinstance(fields, dict):
+        raise TraceSchemaError(f"{where}: fields must be an object")
+    if record["kind"] == "span_end":
+        dur = (fields or {}).get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+            raise TraceSchemaError(
+                f"{where}: span_end must carry numeric fields.dur"
+            )
+    return record
+
+
+def validate_records(records: Iterable[dict]) -> dict:
+    """Validate a full trace; returns summary statistics.
+
+    Beyond per-record checks: ``seq`` must increase by exactly 1 within
+    each worker (a gap means lost records) and spans must nest — every
+    ``span_end`` closes its worker's innermost open ``span_start`` of
+    the same name.  Open spans at the end are tolerated (a crashed
+    worker's trace is still useful evidence).
+    """
+    next_seq: dict[str, int] = defaultdict(int)
+    open_spans: dict[str, list[str]] = defaultdict(list)
+    count = 0
+    spans = 0
+    events = 0
+    for index, record in enumerate(records):
+        where = f"record {index}"
+        validate_record(record, where)
+        worker = record["worker"]
+        if record["seq"] != next_seq[worker]:
+            raise TraceSchemaError(
+                f"{where}: worker {worker!r} seq {record['seq']} "
+                f"(expected {next_seq[worker]})"
+            )
+        next_seq[worker] += 1
+        kind = record["kind"]
+        if kind == "span_start":
+            open_spans[worker].append(record["name"])
+            spans += 1
+        elif kind == "span_end":
+            stack = open_spans[worker]
+            if not stack or stack[-1] != record["name"]:
+                raise TraceSchemaError(
+                    f"{where}: span_end {record['name']!r} does not close "
+                    f"worker {worker!r}'s innermost span "
+                    f"({stack[-1] if stack else 'none open'!r})"
+                )
+            stack.pop()
+        else:
+            events += 1
+        count += 1
+    return {
+        "records": count,
+        "workers": sorted(next_seq),
+        "spans": spans,
+        "events": events,
+        "open_spans": {w: list(s) for w, s in open_spans.items() if s},
+    }
+
+
+def validate_file(path) -> dict:
+    """Parse and validate a JSONL trace file; returns the summary."""
+    return validate_records(read_jsonl(path))
+
+
+def replay_counters(records: Iterable[dict]) -> dict[str, dict]:
+    """Rebuild per-name aggregates from a trace — the "replay" half of
+    the emit → parse → replay round trip the tests assert on.
+
+    Returns ``{name: {"count": n, "sum": {field: total}}}`` over event
+    and metric records, summing every numeric field.
+    """
+    replayed: dict[str, dict] = {}
+    for record in records:
+        if record.get("kind") not in ("event", "metric"):
+            continue
+        entry = replayed.setdefault(
+            record["name"], {"count": 0, "sum": {}}
+        )
+        entry["count"] += 1
+        for key, value in (record.get("fields") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            entry["sum"][key] = entry["sum"].get(key, 0) + value
+    return replayed
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate JSONL trace files against the repro "
+        "telemetry schema."
+    )
+    parser.add_argument("files", nargs="+", help="trace files to check")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.files:
+        try:
+            summary = validate_file(path)
+        except (TraceSchemaError, OSError, ValueError) as exc:
+            print(f"FAIL {path}: {exc}")
+            status = 1
+            continue
+        print(
+            f"OK {path}: {summary['records']} records, "
+            f"{len(summary['workers'])} workers "
+            f"({', '.join(summary['workers'])}), "
+            f"{summary['spans']} spans, {summary['events']} events"
+        )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""Structured tracing: timestamped JSONL span/event records.
+
+The thesis evaluates every solver through per-run counters — expanded
+nodes, pruned branches, bound improvements over time.  This module is
+the event side of that accounting: a :class:`Tracer` turns solver
+progress into flat, self-describing records that can be written as
+JSON Lines, merged across portfolio workers, and replayed into counters
+by tests.
+
+One record per line::
+
+    {"v": 1, "t": 0.0312, "worker": "astar-tw", "seq": 7,
+     "kind": "event", "name": "bound_publish",
+     "fields": {"kind": "ub", "value": 18}}
+
+``t`` is seconds since the run's time base (portfolio workers share the
+parent's base, so merged timelines are directly comparable), ``seq`` a
+per-worker monotone counter that orders records when wall clocks cannot
+(``--deterministic``).  ``kind`` is one of ``span_start`` / ``span_end``
+/ ``event`` / ``metric``; ``span_end`` additionally carries ``dur``.
+
+The default everywhere is :data:`NULL_TRACER`: ``enabled`` is False and
+every method a no-op, so an untraced hot path pays one attribute check.
+Zero dependencies — stdlib ``json`` and ``time`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+TRACE_VERSION = 1
+KINDS = ("span_start", "span_end", "event", "metric")
+
+
+class _NullSpan:
+    """Context manager that does nothing (the NullTracer's span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The no-op tracer installed wherever tracing is off.
+
+    Hot paths guard on ``tracer.enabled`` (a plain class attribute), so
+    disabled tracing costs one attribute load and branch per tap.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def event(self, name: str, **fields) -> None:
+        return None
+
+    def metric(self, name: str, **fields) -> None:
+        return None
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """A traced duration: emits ``span_start`` on entry and a matching
+    ``span_end`` (with ``dur`` seconds and, on an exception, ``error``)
+    on exit.  Spans nest freely; pairing is by (worker, name) order."""
+
+    __slots__ = ("_tracer", "name", "_fields", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict):
+        self._tracer = tracer
+        self.name = name
+        self._fields = fields
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._started = time.monotonic()
+        self._tracer._record("span_start", self.name, self._fields)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        fields = {"dur": time.monotonic() - self._started}
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        self._tracer._record("span_end", self.name, fields)
+        return False
+
+
+class Tracer:
+    """Base tracer: stamps records and hands them to :meth:`emit`.
+
+    Args:
+        worker: logical source of the records ("main", a portfolio
+            backend name, ...); merged timelines key on it.
+        t0: time base (``time.monotonic()`` origin).  Portfolio workers
+            receive the parent's so all timestamps share one axis.
+    """
+
+    enabled = True
+
+    def __init__(self, worker: str = "main", t0: float | None = None):
+        self.worker = worker
+        self.t0 = time.monotonic() if t0 is None else t0
+        self.seq = 0
+
+    def _record(self, kind: str, name: str, fields: dict) -> dict:
+        record = {
+            "v": TRACE_VERSION,
+            "t": round(max(0.0, time.monotonic() - self.t0), 6),
+            "worker": self.worker,
+            "seq": self.seq,
+            "kind": kind,
+            "name": name,
+        }
+        if fields:
+            record["fields"] = fields
+        self.seq += 1
+        self.emit(record)
+        return record
+
+    def event(self, name: str, **fields) -> dict:
+        """Emit a point-in-time event."""
+        return self._record("event", name, fields)
+
+    def metric(self, name: str, **fields) -> dict:
+        """Emit a sampled measurement (same shape as an event; the kind
+        tags it for downstream aggregation)."""
+        return self._record("metric", name, fields)
+
+    def span(self, name: str, **fields) -> Span:
+        """A context manager tracing one duration."""
+        return Span(self, name, fields)
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class MemoryTracer(Tracer):
+    """Collects records in a list — portfolio workers ship theirs home
+    through the report queue; tests assert on them directly."""
+
+    def __init__(self, worker: str = "main", t0: float | None = None):
+        super().__init__(worker, t0)
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlTracer(Tracer):
+    """Streams records to a JSON Lines file (one JSON object per line)."""
+
+    def __init__(self, path, worker: str = "main", t0: float | None = None):
+        super().__init__(worker, t0)
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def write_jsonl(path, records) -> int:
+    """Dump pre-built records (e.g. a merged portfolio timeline) as JSONL;
+    returns the number of records written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a JSONL trace file back into records (blank lines skipped)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

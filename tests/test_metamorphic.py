@@ -1,0 +1,209 @@
+"""Metamorphic testing: known transformations with known width effects.
+
+Width is a graph/hypergraph *property*: it must be invariant under
+vertex relabeling and under the order edges happen to be inserted, and
+it is monotone (never increases) under taking substructures.
+
+One relation is deliberately absent: **ghw is not monotone under
+general edge deletion**.  Removing a large edge can *increase* ghw —
+the edge was cheap cover material (one edge covering a big bag), and
+without it the same bag needs several smaller edges.  The sound ghw
+deletion relations are vertex deletion (induced subhypergraphs) and
+deleting a *subedge* (an edge contained in another edge, which can
+always be re-covered by its superset).  Treewidth, by contrast, is
+monotone under both edge and vertex deletion (it is minor-monotone).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import make_covered_hypergraph, random_graphs
+from repro.hypergraph import Graph, Hypergraph
+from repro.search import (
+    astar_ghw,
+    astar_treewidth,
+    branch_and_bound_treewidth,
+)
+
+
+def exact_tw(graph) -> int:
+    result = astar_treewidth(graph)
+    assert result.exact
+    return result.upper_bound
+
+
+def exact_ghw(hypergraph) -> int:
+    result = astar_ghw(hypergraph)
+    assert result.exact
+    return result.upper_bound
+
+
+@st.composite
+def graphs(draw, max_vertices=9):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
+    g = Graph(vertices=range(n))
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def relabeled_graph(graph, seed: int) -> tuple[Graph, dict]:
+    """An isomorphic copy on fresh string labels, shuffled order."""
+    rng = random.Random(seed)
+    vertices = graph.vertex_list()
+    shuffled = list(vertices)
+    rng.shuffle(shuffled)
+    mapping = {v: f"x{i}" for i, v in enumerate(shuffled)}
+    out = Graph(vertices=(mapping[v] for v in shuffled))
+    edges = [(mapping[u], mapping[v]) for u, v in graph.edges()]
+    rng.shuffle(edges)
+    for u, v in edges:
+        out.add_edge(u, v)
+    return out, mapping
+
+
+def relabeled_hypergraph(hypergraph, seed: int) -> Hypergraph:
+    rng = random.Random(seed)
+    vertices = hypergraph.vertex_list()
+    shuffled = list(vertices)
+    rng.shuffle(shuffled)
+    mapping = {v: f"x{i}" for i, v in enumerate(shuffled)}
+    names = hypergraph.edge_names()
+    rng.shuffle(names)
+    out = Hypergraph()
+    for v in shuffled:
+        out.add_vertex(mapping[v])
+    for name in names:
+        out.add_edge(
+            {mapping[v] for v in hypergraph.edge(name)}, name=f"e_{name}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Treewidth
+# ----------------------------------------------------------------------
+
+class TestTreewidthInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), st.integers(min_value=0, max_value=2**16))
+    def test_invariant_under_relabeling(self, g, seed):
+        copy, _ = relabeled_graph(g, seed)
+        assert exact_tw(copy) == exact_tw(g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), st.integers(min_value=0, max_value=2**16))
+    def test_invariant_under_edge_shuffle(self, g, seed):
+        rng = random.Random(seed)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        shuffled = Graph(vertices=g.vertex_list())
+        for u, v in edges:
+            shuffled.add_edge(u, v)
+        assert exact_tw(shuffled) == exact_tw(g)
+        # Both solvers see through the insertion order.
+        bb = branch_and_bound_treewidth(shuffled.copy())
+        assert bb.exact and bb.upper_bound == exact_tw(g)
+
+
+class TestTreewidthMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), st.integers(min_value=0, max_value=2**16))
+    def test_monotone_under_edge_deletion(self, g, seed):
+        edges = list(g.edges())
+        if not edges:
+            return
+        tw = exact_tw(g)
+        u, v = edges[seed % len(edges)]
+        smaller = g.copy()
+        smaller.remove_edge(u, v)
+        assert exact_tw(smaller) <= tw
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), st.integers(min_value=0, max_value=2**16))
+    def test_monotone_under_vertex_deletion(self, g, seed):
+        tw = exact_tw(g)
+        vertices = g.vertex_list()
+        victim = vertices[seed % len(vertices)]
+        smaller = g.copy()
+        smaller.remove_vertex(victim)
+        assert exact_tw(smaller) <= tw
+
+    def test_deletion_chain_is_monotone(self):
+        # Delete vertices one by one: widths form a non-increasing
+        # staircase (each step is an induced subgraph of the last).
+        for g in random_graphs(3, max_n=8, seed=5):
+            widths = []
+            current = g.copy()
+            while current.num_vertices:
+                widths.append(exact_tw(current.copy()))
+                current.remove_vertex(current.vertex_list()[0])
+            assert widths == sorted(widths, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# ghw
+# ----------------------------------------------------------------------
+
+class TestGhwInvariance:
+    def test_invariant_under_relabeling(self):
+        for seed in range(4):
+            h = make_covered_hypergraph(6, 5, seed=seed)
+            assert exact_ghw(relabeled_hypergraph(h, seed)) == exact_ghw(h)
+
+    def test_invariant_under_edge_shuffle(self):
+        for seed in range(4):
+            h = make_covered_hypergraph(6, 5, seed=seed + 100)
+            names = h.edge_names()
+            random.Random(seed).shuffle(names)
+            shuffled = Hypergraph()
+            for v in h.vertex_list():
+                shuffled.add_vertex(v)
+            for name in names:
+                shuffled.add_edge(set(h.edge(name)), name=name)
+            assert exact_ghw(shuffled) == exact_ghw(h)
+
+
+class TestGhwMonotonicity:
+    def test_monotone_under_vertex_deletion(self):
+        # ghw(H[V - v]) <= ghw(H): restrict every bag of an optimal GHD
+        # and keep its covers.
+        for seed in range(4):
+            h = make_covered_hypergraph(6, 5, seed=seed + 200)
+            ghw = exact_ghw(h)
+            for victim in h.vertex_list()[:3]:
+                smaller = h.copy()
+                smaller.remove_vertex(victim)
+                if smaller.num_vertices == 0:
+                    continue
+                assert exact_ghw(smaller) <= ghw, (seed, victim)
+
+    def test_monotone_under_subedge_deletion(self):
+        # Deleting an edge contained in another edge cannot raise ghw:
+        # any cover using the subedge can use the superset instead.
+        checked = 0
+        for seed in range(12):
+            h = make_covered_hypergraph(6, 6, seed=seed + 300)
+            edges = h.edges
+            subedge = next(
+                (
+                    name
+                    for name, members in edges.items()
+                    for other, bigger in edges.items()
+                    if other != name and members <= bigger
+                ),
+                None,
+            )
+            if subedge is None:
+                continue
+            ghw = exact_ghw(h)
+            smaller = h.copy()
+            smaller.remove_edge(subedge)
+            if smaller.isolated_vertices():
+                continue
+            assert exact_ghw(smaller) <= ghw, (seed, subedge)
+            checked += 1
+        assert checked >= 2  # the relation was actually exercised

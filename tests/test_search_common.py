@@ -5,8 +5,14 @@ import time
 import pytest
 
 from repro.hypergraph.generators import grid_graph, random_gnm_graph
-from repro.search import BudgetExceeded, GraphReplayer, SearchBudget
-from repro.search.common import SearchResult, SearchStats
+from repro.search import (
+    BudgetExceeded,
+    GraphReplayer,
+    SearchBudget,
+    astar_treewidth,
+    branch_and_bound_treewidth,
+)
+from repro.search.common import BoundHooks, SearchResult, SearchStats
 
 
 class TestBudget:
@@ -95,3 +101,82 @@ class TestGraphReplayer:
             for v in ordering:
                 ref.eliminate(v)
             assert got == ref
+
+
+class TestStatsConsistency:
+    """Every search exit path must report the full SearchStats — no field
+    may be left at its default on some paths but not others."""
+
+    def test_finish_stamps_elapsed_and_published(self):
+        published = []
+        hooks = BoundHooks(publish_upper=published.append)
+        clock = SearchBudget(hooks=hooks).start()
+        clock.publish_upper(9)
+        clock.publish_upper(7)
+        stats = clock.finish(SearchStats(nodes_expanded=3))
+        assert stats.bounds_published == 2
+        assert stats.elapsed_seconds > 0
+        assert published == [9, 7]
+
+    def test_astar_reports_all_fields(self):
+        from repro.instances import get_instance
+
+        result = astar_treewidth(get_instance("myciel4").build())
+        s = result.stats
+        assert s.nodes_expanded > 0
+        assert s.max_frontier > 0
+        assert s.elapsed_seconds > 0
+        assert s.reductions_forced > 0  # myciel4 hits forced reductions
+        assert not s.budget_exhausted
+
+    def test_bb_reports_peak_depth(self):
+        from repro.instances import get_instance
+
+        result = branch_and_bound_treewidth(get_instance("myciel4").build())
+        s = result.stats
+        assert s.nodes_expanded > 0
+        # max_frontier is the peak recursion depth for the DFS searches;
+        # BB must descend at least one level to do any work.
+        assert s.max_frontier > 0
+        assert s.elapsed_seconds > 0
+
+    def test_budget_exhausted_path_reports_stats(self):
+        from repro.instances import get_instance
+
+        result = astar_treewidth(
+            get_instance("myciel4").build(), budget=SearchBudget(max_nodes=50)
+        )
+        s = result.stats
+        assert s.budget_exhausted
+        assert s.elapsed_seconds > 0
+        assert s.max_frontier > 0
+        assert not result.exact
+        assert "budget-exhausted" in result.summary()
+
+    def test_summary_surfaces_every_counter(self):
+        stats = SearchStats(
+            nodes_expanded=11,
+            max_frontier=22,
+            elapsed_seconds=0.5,
+            budget_exhausted=False,
+            bounds_adopted=33,
+            bounds_published=44,
+            reductions_forced=55,
+        )
+        line = SearchResult(6, 4, [1], False, stats).summary("tw")
+        assert "tw in [4, 6]" in line
+        for token in (
+            "nodes=11", "frontier=22", "reductions=55",
+            "published=44", "adopted=33", "elapsed=0.500s",
+        ):
+            assert token in line
+        exact_line = SearchResult(6, 6, [1], True, stats).summary("tw")
+        assert exact_line.startswith("tw = 6")
+
+    def test_as_dict_covers_every_field(self):
+        import dataclasses
+
+        stats = SearchStats()
+        assert set(stats.as_dict()) == {
+            f.name for f in dataclasses.fields(SearchStats)
+        }
