@@ -101,11 +101,24 @@ def cmd_tw(args: argparse.Namespace) -> int:
         return 0
 
 
+def _print_cover_metrics(metrics: Metrics) -> None:
+    """One line per non-zero cover-engine / GA-prefix counter."""
+    counters = metrics.snapshot()["counters"]
+    interesting = {
+        name: value
+        for name, value in counters.items()
+        if value and (name.startswith("cover.") or name.startswith("ga."))
+    }
+    for name, value in sorted(interesting.items()):
+        print(f"  {name}: {value}")
+
+
 def cmd_ghw(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     if isinstance(structure, Graph):
         structure = Hypergraph.from_graph(structure)
     tracer = _make_tracer(args)
+    metrics = Metrics() if args.metrics else None
     with tracer:
         if args.ga:
             result = ga_ghw(
@@ -114,13 +127,17 @@ def cmd_ghw(args: argparse.Namespace) -> int:
                 rng=random.Random(args.seed),
                 max_seconds=args.budget,
                 hooks=BoundHooks(tracer=tracer),
+                metrics=metrics,
             )
             print(f"ghw <= {result.best_fitness} "
                   f"(GA-ghw, {result.evaluations} evaluations)")
+            if metrics is not None:
+                _print_cover_metrics(metrics)
             return 0
         search = branch_and_bound_ghw(
             structure,
             budget=SearchBudget(max_seconds=args.budget, tracer=tracer),
+            metrics=metrics,
         )
         if search.exact:
             print(f"ghw = {search.width} "
@@ -130,6 +147,7 @@ def cmd_ghw(args: argparse.Namespace) -> int:
                   "(budget exhausted)")
         if args.metrics:
             print(search.summary("ghw"))
+            _print_cover_metrics(metrics)
         return 0
 
 

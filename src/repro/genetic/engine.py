@@ -86,6 +86,7 @@ def run_permutation_ga(
     max_seconds: float | None = None,
     seed_individuals: Sequence[Sequence] | None = None,
     hooks: BoundHooks | None = None,
+    fitness_batch: Callable[[list[list]], list[float]] | None = None,
 ) -> GAResult:
     """Evolve permutations of ``elements`` minimizing ``fitness``.
 
@@ -98,8 +99,21 @@ def run_permutation_ga(
     the run stops early — ``stopped_by_bound`` — once an externally
     proven lower bound meets the best fitness (the bound cannot improve
     further, so the remaining generations are wasted work).
+
+    ``fitness_batch`` replaces the one-by-one evaluation of a whole
+    population (same values as mapping ``fitness``, position for
+    position); incremental evaluators use it to pick the evaluation
+    order that maximizes shared state between individuals.  The GA's
+    behaviour must not change: the evolutionary loop consumes no
+    randomness during evaluation, so any evaluation order is legal.
     """
     parameters.validate()
+
+    def evaluate(individuals: list[list]) -> list[float]:
+        if fitness_batch is not None:
+            return list(fitness_batch(individuals))
+        return [fitness(ind) for ind in individuals]
+
     tracer = hooks.tracer if hooks is not None else NULL_TRACER
     tracing = bool(getattr(tracer, "enabled", False))
     with tracer.span(
@@ -125,7 +139,7 @@ def run_permutation_ga(
             population.append(individual)
         population = population[: parameters.population_size]
 
-        fitnesses = [fitness(ind) for ind in population]
+        fitnesses = evaluate(population)
         evaluations = len(population)
         best_index = min(range(len(population)), key=fitnesses.__getitem__)
         best_fitness = fitnesses[best_index]
@@ -163,7 +177,7 @@ def run_permutation_ga(
             for i, individual in enumerate(population):
                 if rng.random() < parameters.mutation_rate:
                     population[i] = mutation(individual, rng)
-            fitnesses = [fitness(ind) for ind in population]
+            fitnesses = evaluate(population)
             evaluations += len(population)
             gen_best = min(range(len(population)), key=fitnesses.__getitem__)
             if fitnesses[gen_best] < best_fitness:

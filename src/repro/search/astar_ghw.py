@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 
 from ..bounds.ghw_lower import ghw_lower_bound
 from ..bounds.upper import best_heuristic_ordering
+from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.hypergraph import Hypergraph
+from ..telemetry import Metrics
 from .common import (
     BudgetExceeded,
     GraphReplayer,
@@ -49,9 +51,17 @@ def astar_ghw(
     use_reductions: bool = True,
     use_sas: bool = False,
     use_pr2: bool = True,
+    cover: str = "bit",
+    metrics: Metrics | None = None,
 ) -> SearchResult:
     """Compute ``ghw(H)`` with A* (exact when the budget allows; anytime
-    upper/lower bounds otherwise)."""
+    upper/lower bounds otherwise).
+
+    ``cover`` selects the bag-cover engine (``"bit"`` — the bitmask
+    engine with dominance caching, the default — or ``"set"``, the
+    frozenset reference); both explore the same tree and return the same
+    widths.  ``metrics`` receives the bit engine's cache counters.
+    """
     stats = SearchStats()
     isolated = hypergraph.isolated_vertices()
     if isolated:
@@ -61,8 +71,10 @@ def astar_ghw(
         )
     if hypergraph.num_edges == 0:
         return SearchResult(0, 0, hypergraph.vertex_list(), True, stats)
-    graph = hypergraph.primal_graph()
-    context = GhwSearchContext(hypergraph)
+    # The primal graph always runs on the bitset kernel; `cover` only
+    # switches the bag-cover engine, so benchmarks isolate its effect.
+    graph = BitGraph.from_hypergraph(hypergraph)
+    context = GhwSearchContext(hypergraph, engine=cover, metrics=metrics)
     all_vertices = graph.vertex_list()
     if graph.num_vertices <= 1:
         return SearchResult(1, 1, all_vertices, True, stats)
@@ -145,7 +157,7 @@ def _astar_ghw_run(
                     best_ub, lower, best_ub_ordering, lower >= best_ub, stats
                 )
             current = replayer.move_to(state.ordering)
-            completion = context.completion_bound(current)
+            completion = context.completion_bound(current, good_enough=state.g)
             total = max(state.g, completion)
             if total < best_ub:
                 best_ub = total

@@ -22,8 +22,10 @@ import random
 
 from ..bounds.ghw_lower import ghw_lower_bound
 from ..bounds.upper import best_heuristic_ordering
-from ..hypergraph.graph import Graph, Vertex
+from ..hypergraph.bitgraph import BitGraph
+from ..hypergraph.graph import Vertex
 from ..hypergraph.hypergraph import Hypergraph
+from ..telemetry import Metrics
 from .common import (
     BoundsConverged,
     BudgetExceeded,
@@ -43,9 +45,17 @@ def branch_and_bound_ghw(
     use_reductions: bool = True,
     use_sas: bool = False,
     use_pr2: bool = True,
+    cover: str = "bit",
+    metrics: Metrics | None = None,
 ) -> SearchResult:
     """Compute ``ghw(H)`` by branch and bound (exact when the budget
-    allows; anytime bounds otherwise)."""
+    allows; anytime bounds otherwise).
+
+    ``cover`` selects the bag-cover engine (``"bit"`` — the bitmask
+    engine with dominance caching, the default — or ``"set"``, the
+    frozenset reference); both explore the same tree and return the same
+    widths.  ``metrics`` receives the bit engine's cache counters.
+    """
     stats = SearchStats()
     isolated = hypergraph.isolated_vertices()
     if isolated:
@@ -55,9 +65,11 @@ def branch_and_bound_ghw(
         )
     if hypergraph.num_edges == 0:
         return SearchResult(0, 0, hypergraph.vertex_list(), True, stats)
-    graph = hypergraph.primal_graph()
+    # The primal graph always runs on the bitset kernel; `cover` only
+    # switches the bag-cover engine, so benchmarks isolate its effect.
+    graph = BitGraph.from_hypergraph(hypergraph)
     n = graph.num_vertices
-    context = GhwSearchContext(hypergraph)
+    context = GhwSearchContext(hypergraph, engine=cover, metrics=metrics)
     all_vertices = graph.vertex_list()
     if n <= 1:
         return SearchResult(1, 1, all_vertices, True, stats)
@@ -123,7 +135,7 @@ class _GhwDfs:
 
     def __init__(
         self,
-        graph: Graph,
+        graph,
         context: GhwSearchContext,
         clock,
         stats: SearchStats,
@@ -171,7 +183,7 @@ class _GhwDfs:
             self.stats.bounds_adopted += 1
             self.converged_lb = external_lb
             raise BoundsConverged
-        completion = self.context.completion_bound(self.graph)
+        completion = self.context.completion_bound(self.graph, good_enough=g)
         total = max(g, completion)
         if total < self.ub:
             self.ub = total

@@ -29,6 +29,8 @@ from collections.abc import Hashable
 
 from ..decomposition.htd import HypertreeDecomposition
 from ..hypergraph.hypergraph import Hypergraph
+from ..setcover.bitcover import BitCoverEngine
+from ..telemetry import Metrics
 
 
 class _Node:
@@ -43,7 +45,8 @@ class _Node:
 
 
 def det_k_decomp(
-    hypergraph: Hypergraph, k: int, max_states: int | None = 200000
+    hypergraph: Hypergraph, k: int, max_states: int | None = 200000,
+    metrics: Metrics | None = None,
 ) -> HypertreeDecomposition | None:
     """A width-≤-k hypertree decomposition of ``hypergraph``, or ``None``
     when none exists.
@@ -52,7 +55,8 @@ def det_k_decomp(
     connector)`` subproblems explored (a safety valve for adversarial
     inputs; ``None`` = unlimited).  Raises :class:`ValueError` for
     hypergraphs with isolated vertices (no decomposition can cover
-    them) and for k < 1.
+    them) and for k < 1.  ``metrics`` receives the bitmask cover
+    engine's cache counters (separator enumeration runs on it).
     """
     if k < 1:
         raise ValueError("width bound k must be positive")
@@ -66,7 +70,7 @@ def det_k_decomp(
         htd.add_node("root", bag=(), cover=())
         return htd
 
-    solver = _DetKDecomp(hypergraph, k, max_states)
+    solver = _DetKDecomp(hypergraph, k, max_states, metrics)
     edge_names = frozenset(hypergraph.edge_names())
     roots: list[_Node] = []
     for component in _edge_components(hypergraph, edge_names, frozenset()):
@@ -96,12 +100,27 @@ def hypertree_width(
 
 
 class _DetKDecomp:
-    def __init__(self, hypergraph: Hypergraph, k: int, max_states: int | None):
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        max_states: int | None,
+        metrics: Metrics | None = None,
+    ):
         self.hypergraph = hypergraph
         self.k = k
         self.edges = hypergraph.edges
         self.memo: dict[tuple[frozenset, frozenset], _Node | None] = {}
         self.max_states = max_states
+        # Bitmask cover engine: per-edge vertex masks for the separator
+        # enumeration, exact covers (dominance-cached) for the connector
+        # feasibility prune.
+        self.engine = BitCoverEngine(hypergraph, metrics)
+        self.edge_mask = {
+            name: mask
+            for name, mask in zip(self.engine.edge_names,
+                                  self.engine.edge_masks)
+        }
 
     def decompose(
         self, component: frozenset, connector: frozenset
@@ -114,16 +133,30 @@ class _DetKDecomp:
                 "det-k-decomp state budget exhausted; raise max_states"
             )
         self.memo[key] = None  # provisional (also breaks hypothetical cycles)
-        component_vars = frozenset().union(
-            *(self.edges[name] for name in component)
-        )
-        scope = component_vars | connector
+        if connector:
+            # Feasibility prune: every λ must cover the connector, and a
+            # minimum cover over ALL hyperedges lower-bounds any cover by
+            # a λ of ≤ k of them — if even that exceeds k, no separator
+            # exists for this subproblem.
+            connector_mask = self.engine.mask_of(connector)
+            if self.engine.exact_size(connector_mask) > self.k:
+                return None
+        edge_mask = self.edge_mask
+        scope_mask = 0
+        for name in component:
+            scope_mask |= edge_mask[name]
+        if connector:
+            scope_mask |= connector_mask
         result = None
-        for lam in self._separators(component, connector, scope):
-            lam_vars = frozenset().union(*(self.edges[name] for name in lam))
-            chi = (lam_vars & scope) | connector
+        for lam, lam_vars_mask in self._separators(
+            component, connector, scope_mask
+        ):
+            chi_mask = lam_vars_mask & scope_mask
+            chi = frozenset(self.engine.mask_to_vertices(chi_mask)) | connector
             covered = {
-                name for name in component if self.edges[name] <= chi
+                name
+                for name in component
+                if edge_mask[name] & ~chi_mask == 0
             }
             if not covered:
                 continue  # no progress; normal form requires some
@@ -148,29 +181,33 @@ class _DetKDecomp:
         self.memo[key] = result
         return result
 
-    def _separators(self, component, connector, scope):
+    def _separators(self, component, connector, scope_mask):
         """Candidate λ sets: ≤ k edges touching the scope, at least one
-        from the component, jointly covering the connector.  Yielded in
-        a deterministic order, component edges first (they make
-        progress)."""
+        from the component, jointly covering the connector.  Yielded
+        with their vertex masks, in a deterministic order, component
+        edges first (they make progress) — the same order as the
+        frozenset implementation (edge masks iterate in hypergraph
+        insertion order, sorted by the same key)."""
+        edge_mask = self.edge_mask
         touching = sorted(
             (
                 name
-                for name, edge in self.edges.items()
-                if edge & scope
+                for name, mask in edge_mask.items()
+                if mask & scope_mask
             ),
             key=lambda name: (name not in component, repr(name)),
         )
+        connector_mask = self.engine.mask_of(connector) if connector else 0
         for size in range(1, self.k + 1):
             for lam in itertools.combinations(touching, size):
                 lam_set = frozenset(lam)
                 if not (lam_set & component):
                     continue
-                lam_vars = frozenset().union(
-                    *(self.edges[name] for name in lam)
-                )
-                if connector <= lam_vars:
-                    yield lam_set
+                lam_vars_mask = 0
+                for name in lam:
+                    lam_vars_mask |= edge_mask[name]
+                if connector_mask & ~lam_vars_mask == 0:
+                    yield lam_set, lam_vars_mask
 
 
 def _edge_components(

@@ -5,18 +5,25 @@ Both searches walk the elimination-ordering tree of the primal graph.
 The cost of a partial ordering is the largest *exact* set-cover size of
 any elimination bag produced so far (Definition 17's ``width(σ, H)``,
 which Chapter 3 proves reaches ``ghw(H)`` for some ordering).  Exact
-covers are provided by :mod:`repro.setcover.exact`; results are memoized
-per search because different orderings reproduce identical bags.
+covers come from the bitmask cover engine
+(:class:`repro.setcover.bitcover.BitCoverEngine`) by default — bags
+arrive as integer masks straight off the BitGraph kernel and repeat
+queries are answered through the dominance cache; ``engine="set"``
+selects the frozenset implementation for differential testing.
 
 The heuristic ``h`` of a node combines a treewidth lower bound of the
 remaining (filled) graph with the k-set-cover bound of §8.1: some future
 bag has at least ``mmw + 1`` vertices and hyperedges contribute at most
-``rank`` of them each.
+``rank`` of them each.  The rank restricted to the remaining vertex set
+is a popcount over precomputed edge masks, memoized per remaining set
+(siblings ask about the same set).
 
 A PR 1 analogue closes subtrees: every future bag is a subset of the
 remaining vertex set R, and any cover of R covers all of its subsets, so
 ``max(g, cover(R))`` bounds every completion — when ``cover(R) <= g``
-the node is a goal of width exactly ``g``.
+the node is a goal of width exactly ``g``.  Callers pass that ``g`` as
+``good_enough`` so a dominance answer of at most ``g`` closes the
+subtree without running a cover.
 """
 
 from __future__ import annotations
@@ -26,30 +33,72 @@ import math
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
 from ..bounds.lower import minor_min_width
+from ..setcover.bitcover import BitCoverEngine
 from ..setcover.exact import exact_set_cover
 from ..setcover.greedy import greedy_set_cover
+from ..telemetry import Metrics
 
 
 class GhwSearchContext:
-    """Bag-cover bookkeeping shared by the ghw searches."""
+    """Bag-cover bookkeeping shared by the ghw searches.
 
-    def __init__(self, hypergraph: Hypergraph):
+    ``engine="bit"`` (default) routes every cover query through a
+    :class:`~repro.setcover.bitcover.BitCoverEngine` with its dominance
+    cache; ``engine="set"`` keeps the frozenset covers with flat dict
+    caches (plus the exact-seeds-greedy coupling).  Both modes accept
+    frozenset bags and either graph kernel, so searches and tests can
+    mix them freely; pass a :class:`~repro.telemetry.Metrics` registry
+    to export the bit engine's cache counters.
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        engine: str = "bit",
+        metrics: Metrics | None = None,
+    ):
+        if engine not in ("bit", "set"):
+            raise ValueError(f"unknown cover engine {engine!r}")
         self.hypergraph = hypergraph
-        self._exact_cache: dict[frozenset, int] = {}
-        self._greedy_cache: dict[frozenset, int] = {}
+        self.engine_kind = engine
         # Hyperedge sizes restricted to any subset are at most the rank.
         self.rank = max(1, hypergraph.rank())
+        index = hypergraph.incidence_index()
+        self._vertex_bit = index.vertex_bit
+        self._edge_masks = [
+            index.edge_vertex_masks[name] for name in index.edge_labels
+        ]
+        self._rank_memo: dict[int, int] = {}
+        if engine == "bit":
+            self.engine: BitCoverEngine | None = BitCoverEngine(
+                hypergraph, metrics
+            )
+        else:
+            self.engine = None
+            self._exact_cache: dict[frozenset, int] = {}
+            self._greedy_cache: dict[frozenset, int] = {}
 
     # -- covers ---------------------------------------------------------
 
     def exact_cover_size(self, bag: frozenset) -> int:
+        """Minimum cover cardinality of a frozenset bag (either engine)."""
+        if self.engine is not None:
+            return self.engine.exact_size(self.engine.mask_of(bag))
         size = self._exact_cache.get(bag)
         if size is None:
             size = len(exact_set_cover(bag, self.hypergraph))
             self._exact_cache[bag] = size
+            # Exact is a valid upper bound wherever the greedy cache is
+            # consulted (completion bounds) — seed it (exact <= greedy).
+            known = self._greedy_cache.get(bag)
+            if known is None or size < known:
+                self._greedy_cache[bag] = size
         return size
 
     def greedy_cover_size(self, bag: frozenset) -> int:
+        """Size of a valid (greedy-or-better) cover of a frozenset bag."""
+        if self.engine is not None:
+            return self.engine.greedy_size(self.engine.mask_of(bag))
         size = self._greedy_cache.get(bag)
         if size is None:
             size = len(greedy_set_cover(bag, self.hypergraph))
@@ -58,36 +107,63 @@ class GhwSearchContext:
 
     # -- node values ----------------------------------------------------
 
-    def child_cost(self, graph: Graph, vertex: Vertex) -> int:
+    def child_cost(self, graph, vertex: Vertex) -> int:
         """Exact cover size of the bag produced by eliminating ``vertex``
         from the current graph state (``{v} ∪ N(v)``)."""
+        if self.engine is not None and hasattr(graph, "neighbors_mask"):
+            # BitGraph interning matches the engine's (both number
+            # vertices in hypergraph insertion order), so the bag mask
+            # feeds the engine directly.
+            mask = graph.neighbors_mask(vertex) | (1 << graph.bit(vertex))
+            return self.engine.exact_size(mask)
         bag = frozenset(graph.neighbors(vertex) | {vertex})
         return self.exact_cover_size(bag)
 
-    def remaining_rank(self, remaining: frozenset) -> int:
-        """Largest hyperedge restriction to the remaining vertices."""
-        best = 1
-        for edge in self.hypergraph.edges.values():
-            cut = len(edge & remaining)
-            if cut > best:
-                best = cut
+    def remaining_rank(self, remaining) -> int:
+        """Largest hyperedge restriction to the remaining vertices
+        (a frozenset or an interned mask), memoized per remaining set."""
+        if isinstance(remaining, int):
+            mask = remaining
+        else:
+            vertex_bit = self._vertex_bit
+            mask = 0
+            for v in remaining:
+                mask |= 1 << vertex_bit[v]
+        best = self._rank_memo.get(mask)
+        if best is None:
+            best = 1
+            for edge_mask in self._edge_masks:
+                cut = (edge_mask & mask).bit_count()
+                if cut > best:
+                    best = cut
+            self._rank_memo[mask] = best
         return best
 
-    def heuristic(self, graph: Graph) -> int:
+    def heuristic(self, graph) -> int:
         """Admissible ghw lower bound for the remaining subproblem:
         ``ceil((mmw(G) + 1) / rank)`` with the rank restricted to the
         remaining vertices (tw-ksc-width, §8.1, applied node-wise)."""
         if len(graph) == 0:
             return 0
         mmw = minor_min_width(graph)
-        remaining = frozenset(graph.vertex_list())
-        rank = self.remaining_rank(remaining)
+        if hasattr(graph, "present_mask"):
+            rank = self.remaining_rank(graph.present_mask)
+        else:
+            rank = self.remaining_rank(frozenset(graph.vertex_list()))
         return max(1, math.ceil((mmw + 1) / rank))
 
-    def completion_bound(self, graph: Graph) -> int:
+    def completion_bound(self, graph, good_enough: int | None = None) -> int:
         """Upper bound on the largest cover any completion from this
-        graph state can require: a greedy cover of the whole remaining
-        vertex set covers every future bag."""
+        graph state can require: a cover of the whole remaining vertex
+        set covers every future bag.  ``good_enough`` (the caller's
+        current width ``g``) lets a dominance answer of at most that
+        value close the subtree without running a cover."""
+        if self.engine is not None:
+            if hasattr(graph, "present_mask"):
+                mask = graph.present_mask
+            else:
+                mask = self.engine.mask_of(graph.vertex_list())
+            return self.engine.upper_size(mask, good_enough)
         remaining = frozenset(graph.vertex_list())
         if not remaining:
             return 0

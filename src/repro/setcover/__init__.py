@@ -1,6 +1,7 @@
 """Set cover routines: greedy (Fig. 7.2), exact branch-and-bound (the
 thesis' IP-solver replacement) and k-set-cover lower bounds (§8.1.1)."""
 
+from .bitcover import BitCoverEngine, CoverCache
 from .exact import exact_set_cover, set_cover_size
 from .greedy import SetCoverError, greedy_set_cover
 from .ksc import (
@@ -12,6 +13,8 @@ from .ksc import (
 )
 
 __all__ = [
+    "BitCoverEngine",
+    "CoverCache",
     "SetCoverError",
     "UNCOVERABLE",
     "cover_lower_bound",

@@ -1,0 +1,360 @@
+"""Equivalence suite for the bitmask cover engine.
+
+The engine must be an invisible swap-in for the frozenset reference
+implementations: greedy covers name-identical to
+:func:`~repro.setcover.greedy.greedy_set_cover` with ``rng=None``, exact
+covers size-identical to :func:`~repro.setcover.exact.exact_set_cover`,
+and — the part only property testing can pin down — dominance-cache
+answers that never contradict a direct computation, no matter what query
+history warmed the cache.  The incremental GA evaluator is held to the
+same standard against :func:`~repro.genetic.ga_ghw.ghw_fitness`.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genetic.ga_ghw import PrefixGhwEvaluator, ghw_fitness
+from repro.hypergraph import Hypergraph
+from repro.setcover import (
+    BitCoverEngine,
+    CoverCache,
+    SetCoverError,
+    exact_set_cover,
+    greedy_set_cover,
+)
+from repro.telemetry import Metrics
+
+
+@st.composite
+def covered_hypergraphs(draw, max_vertices=7, max_edges=7):
+    """Random hypergraphs with no isolated vertices (every cover query
+    is then answerable)."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(min_value=1, max_value=min(4, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        edges.append(members)
+    h = Hypergraph.from_edges(edges) if edges else Hypergraph()
+    for v in range(n):
+        if v not in h or v in h.isolated_vertices():
+            h.add_edge({v, (v + 1) % n}, name=f"cover{v}")
+    return h
+
+
+@st.composite
+def hypergraphs_with_bags(draw, max_vertices=7, max_edges=7, max_bags=12):
+    """A covered hypergraph plus a stream of random vertex-subset bags —
+    the query histories that warm (and could corrupt) the cache."""
+    h = draw(covered_hypergraphs(max_vertices, max_edges))
+    vertices = h.vertex_list()
+    num_bags = draw(st.integers(min_value=1, max_value=max_bags))
+    bags = [
+        frozenset(
+            draw(
+                st.lists(
+                    st.sampled_from(vertices),
+                    min_size=1,
+                    max_size=len(vertices),
+                    unique=True,
+                )
+            )
+        )
+        for _ in range(num_bags)
+    ]
+    return h, bags
+
+
+class TestGreedyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_greedy_names_identical(self, case):
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:
+            assert engine.greedy_cover(engine.mask_of(bag)) == \
+                greedy_set_cover(bag, h, rng=None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_greedy_size_memo_never_substitutes(self, case):
+        """The strict greedy memo (the GA fitness path) returns the
+        Fig. 7.2 value even after exact results seeded the upper layer."""
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:  # warm exact layer first
+            engine.exact_size(engine.mask_of(bag))
+        for bag in bags:
+            assert engine.greedy_size(engine.mask_of(bag)) == len(
+                greedy_set_cover(bag, h, rng=None)
+            )
+
+    def test_empty_bag(self, example_hypergraph):
+        engine = BitCoverEngine(example_hypergraph)
+        assert engine.greedy_cover(0) == []
+        assert engine.exact_cover(0) == []
+        assert engine.exact_size(0) == 0
+        assert engine.upper_size(0) == 0
+
+
+class TestExactEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_exact_sizes_identical(self, case):
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:
+            assert engine.exact_size(engine.mask_of(bag)) == len(
+                exact_set_cover(bag, h)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_exact_cover_is_a_minimum_witness(self, case):
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:
+            cover = engine.exact_cover(engine.mask_of(bag))
+            union = frozenset().union(*(h.edge(n) for n in cover), frozenset())
+            assert bag <= union
+            assert len(cover) == len(exact_set_cover(bag, h))
+
+    def test_classic_greedy_trap(self):
+        h = Hypergraph(
+            edges={
+                "top": {1, 2, 3, 4},
+                "bottom": {5, 6, 7, 8},
+                "middle": {3, 4, 5, 6, 9},
+            }
+        )
+        engine = BitCoverEngine(h)
+        bag = engine.mask_of({1, 2, 3, 4, 5, 6, 7, 8})
+        assert engine.exact_size(bag) == 2
+        assert engine.greedy_cover(bag) == greedy_set_cover(
+            {1, 2, 3, 4, 5, 6, 7, 8}, h, rng=None
+        )
+
+    def test_branching_beats_greedy(self):
+        """An instance where greedy grabs the big middle edge and pays
+        for it — the branch-and-bound must return the smaller cover."""
+        h = Hypergraph(
+            edges={
+                "top": {1, 2, 3, 4},
+                "bottom": {5, 6, 7, 8},
+                "middle": {2, 3, 4, 5, 6},  # largest restricted gain
+            }
+        )
+        engine = BitCoverEngine(h)
+        bag = engine.mask_of({1, 2, 3, 4, 5, 6, 7, 8})
+        assert len(engine.greedy_cover(bag)) == 3
+        assert engine.exact_size(bag) == 2
+        assert sorted(engine.exact_cover(bag)) == ["bottom", "top"]
+
+    def test_mask_roundtrip(self, example_hypergraph):
+        engine = BitCoverEngine(example_hypergraph)
+        bag = {"x1", "x3", "x5"}
+        assert set(engine.mask_to_vertices(engine.mask_of(bag))) == bag
+
+
+class TestDominanceNeverContradicts:
+    """Satellite 3's core claim: whatever query history warmed the
+    cache, its answers equal (exact) or validly bound (upper) what a
+    cold engine computes directly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs_with_bags(), st.randoms(use_true_random=False))
+    def test_warm_exact_equals_cold_exact(self, case, rng):
+        h, bags = case
+        warm = BitCoverEngine(h)
+        # Interleave exact / greedy / upper queries in random order to
+        # populate every cache layer before re-asking.
+        history = [(kind, bag) for bag in bags for kind in range(3)]
+        rng.shuffle(history)
+        for kind, bag in history:
+            mask = warm.mask_of(bag)
+            if kind == 0:
+                warm.exact_size(mask)
+            elif kind == 1:
+                warm.greedy_size(mask)
+            else:
+                warm.upper_size(mask, good_enough=rng.randrange(1, 5))
+        for bag in bags:
+            cold = len(exact_set_cover(bag, h))
+            assert warm.exact_size(warm.mask_of(bag)) == cold
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_upper_is_sandwiched(self, case):
+        """Without ``good_enough``, upper_size lies in [exact, greedy];
+        with it, the answer is still the size of some valid cover (never
+        below exact)."""
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:
+            mask = engine.mask_of(bag)
+            upper = engine.upper_size(mask)
+            assert len(exact_set_cover(bag, h)) <= upper
+            assert upper <= len(greedy_set_cover(bag, h, rng=None))
+        thresholded = BitCoverEngine(h)
+        for bag in bags:  # warm with exact answers to enable dominance
+            thresholded.exact_size(thresholded.mask_of(bag))
+        for g in (1, 2, 3):
+            for bag in bags:
+                upper = thresholded.upper_size(
+                    thresholded.mask_of(bag), good_enough=g
+                )
+                assert upper >= len(exact_set_cover(bag, h))
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs_with_bags())
+    def test_restricted_rank_matches_direct(self, case):
+        h, bags = case
+        engine = BitCoverEngine(h)
+        for bag in bags:
+            direct = max(
+                (len(members & bag) for members in h.edges.values()),
+                default=0,
+            )
+            assert engine.restricted_rank(engine.mask_of(bag)) == max(
+                1, direct
+            )
+
+
+class TestCoverCache:
+    def test_exact_seeds_cover_layer(self):
+        cache = CoverCache()
+        cache.store_cover(0b111, 3)
+        cache.store_exact(0b111, 2)
+        assert cache.cover[0b111] == 2
+        assert cache.c_seeded.value == 1
+
+    def test_superset_bound_returns_smallest_superset(self):
+        cache = CoverCache()
+        cache.store_cover(0b1111, 4)
+        cache.store_cover(0b0111, 2)
+        assert cache.superset_bound(0b0011) == 2
+        assert cache.superset_bound(0b1000) == 4
+        assert cache.superset_bound(0b10000) is None
+
+    def test_superset_bound_limit_stops_scan(self):
+        cache = CoverCache()
+        cache.store_cover(0b1111, 4)
+        assert cache.superset_bound(0b0011, limit=3) is None
+        assert cache.superset_bound(0b0011, limit=4) == 4
+
+    def test_subset_bound_returns_largest_exact_subset(self):
+        cache = CoverCache()
+        cache.store_exact(0b0001, 1)
+        cache.store_exact(0b0111, 3)
+        assert cache.subset_bound(0b1111) == 3
+        assert cache.subset_bound(0b0011) == 1
+        assert cache.subset_bound(0b1000) == 0
+        # The floor short-circuits the scan when it cannot be beaten.
+        assert cache.subset_bound(0b1111, floor=3) == 3
+        assert cache.subset_bound(0b1000, floor=2) == 2
+
+    def test_store_cover_keeps_minimum(self):
+        cache = CoverCache()
+        cache.store_cover(0b11, 5)
+        cache.store_cover(0b11, 3)
+        cache.store_cover(0b11, 4)
+        assert cache.cover[0b11] == 3
+
+    def test_scan_cap_bounds_both_walks(self):
+        from repro.setcover.bitcover import DOMINANCE_SCAN_CAP
+
+        cache = CoverCache()
+        for i in range(DOMINANCE_SCAN_CAP + 10):
+            cache.store_cover(1 << i, 1)
+            cache.store_exact(1 << i, 1)
+        probe = 1 << (DOMINANCE_SCAN_CAP + 100)
+        assert cache.superset_bound(probe) is None
+        assert cache.subset_bound(probe) == 0
+
+    def test_upper_size_takes_smaller_superset_cover(
+        self, example_hypergraph
+    ):
+        """A cached superset cover smaller than the bag's own greedy
+        result wins (it is a valid cover of the bag too)."""
+        engine = BitCoverEngine(example_hypergraph)
+        bag = engine.mask_of({"x1", "x4"})
+        greedy = len(engine.greedy_cover(bag))
+        assert greedy > 1
+        superset = engine.mask_of({"x1", "x2", "x4"})
+        engine.cache.store_cover(superset, 1)
+        assert engine.upper_size(bag) == 1
+
+
+class TestCounters:
+    def test_hit_and_dominance_counters_export(self, example_hypergraph):
+        metrics = Metrics()
+        engine = BitCoverEngine(example_hypergraph, metrics=metrics)
+        mask = engine.mask_of({"x1", "x2", "x3"})
+        engine.exact_size(mask)
+        engine.exact_size(mask)
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["cover.exact.computed"] == 1
+        assert snapshot["cover.exact.hit"] == 1
+
+
+class TestErrors:
+    def test_mask_of_unknown_vertex_raises(self, example_hypergraph):
+        engine = BitCoverEngine(example_hypergraph)
+        with pytest.raises(SetCoverError):
+            engine.mask_of({"x1", "nope"})
+
+    def test_uncoverable_vertex_raises(self):
+        h = Hypergraph(vertices=[1, 2], edges={"a": {1}})
+        engine = BitCoverEngine(h)
+        mask = engine.mask_of({1, 2})
+        with pytest.raises(SetCoverError):
+            engine.greedy_cover(mask)
+        with pytest.raises(SetCoverError):
+            engine.exact_cover(mask)
+
+
+class TestPrefixEvaluator:
+    @settings(max_examples=40, deadline=None)
+    @given(covered_hypergraphs(), st.integers(min_value=0, max_value=2**16))
+    def test_fitness_matches_reference(self, h, seed):
+        """Interleaved orderings (forcing rewinds of varying depth) all
+        score exactly like the frozenset ghw_fitness."""
+        rng = random.Random(seed)
+        vertices = h.vertex_list()
+        evaluator = PrefixGhwEvaluator(h)
+        for _ in range(6):
+            ordering = list(vertices)
+            rng.shuffle(ordering)
+            assert evaluator.fitness(ordering) == ghw_fitness(h, ordering)
+
+    @settings(max_examples=30, deadline=None)
+    @given(covered_hypergraphs(), st.integers(min_value=0, max_value=2**16))
+    def test_population_scores_position_for_position(self, h, seed):
+        rng = random.Random(seed)
+        vertices = h.vertex_list()
+        population = []
+        for _ in range(8):
+            ordering = list(vertices)
+            rng.shuffle(ordering)
+            population.append(ordering)
+        evaluator = PrefixGhwEvaluator(h)
+        scores = evaluator.evaluate_population(population)
+        assert scores == [ghw_fitness(h, ind) for ind in population]
+
+    def test_shared_prefixes_are_reused(self, example_hypergraph):
+        metrics = Metrics()
+        evaluator = PrefixGhwEvaluator(example_hypergraph, metrics=metrics)
+        ordering = list(example_hypergraph.vertex_list())
+        evaluator.fitness(ordering)
+        evaluator.fitness(ordering)  # identical: full prefix reuse
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["ga.prefix.scored"] == 2 * len(ordering)
+        assert snapshot["ga.prefix.reused"] == len(ordering)

@@ -12,7 +12,11 @@ cover a near-half clique with binary edges).
 import pytest
 
 from repro.instances import get_instance
-from repro.search import branch_and_bound_ghw, branch_and_bound_treewidth
+from repro.search import (
+    astar_ghw,
+    branch_and_bound_ghw,
+    branch_and_bound_treewidth,
+)
 
 GOLDEN_TREEWIDTHS = {
     "myciel3": 5,
@@ -46,6 +50,47 @@ def test_golden_ghw(name, width):
     result = branch_and_bound_ghw(get_instance(name).build())
     assert result.exact, f"{name}: search did not close the gap"
     assert result.width == width
+
+
+@pytest.mark.parametrize("name,width", sorted(GOLDEN_GHWS.items()))
+def test_golden_ghw_engine_differential(name, width):
+    """The bitmask cover engine must not move any golden width: both
+    engines run to exact termination here, where the dominance cache can
+    only change *how fast* the optimum is proven, never its value."""
+    hypergraph = get_instance(name).build()
+    r_set = branch_and_bound_ghw(hypergraph, cover="set")
+    r_bit = branch_and_bound_ghw(hypergraph, cover="bit")
+    assert r_set.exact and r_bit.exact, f"{name}: a search did not close"
+    assert r_set.width == r_bit.width == width
+    assert r_set.lower_bound == r_bit.lower_bound
+    assert r_set.upper_bound == r_bit.upper_bound
+
+
+@pytest.mark.parametrize("name", ["adder_10", "clique_8", "grid2d_4"])
+def test_golden_ghw_astar_engine_differential(name):
+    """Same differential through the A* front end."""
+    hypergraph = get_instance(name).build()
+    r_set = astar_ghw(hypergraph, cover="set")
+    r_bit = astar_ghw(hypergraph, cover="bit")
+    assert r_set.exact and r_bit.exact
+    assert r_set.width == r_bit.width == GOLDEN_GHWS[name]
+
+
+@pytest.mark.parametrize("name", ["adder_5", "grid2d_4"])
+def test_golden_ghw_portfolio_unchanged(name):
+    """The portfolio's ghw backends (which run the bitmask engine by
+    default) must still land exactly on the golden widths."""
+    from repro.portfolio import run_portfolio
+
+    result = run_portfolio(
+        get_instance(name).build(),
+        jobs=2,
+        deterministic=True,
+        max_nodes=50_000,
+    )
+    assert result.metric == "ghw"
+    assert result.exact
+    assert result.width == GOLDEN_GHWS[name]
 
 
 @pytest.mark.parametrize("n,expected", [(6, 3), (8, 4), (10, 5)])

@@ -115,6 +115,19 @@ class TestExact:
         cover = exact_set_cover({1, 2}, h)
         assert set(cover) == {"only", "other"}
 
+    def test_node_budget_falls_back_to_greedy(self, adder5):
+        bag = set(list(adder5.vertex_list())[:8])
+        cover = exact_set_cover(bag, adder5, max_nodes=1)
+        union = frozenset().union(*(adder5.edge(n) for n in cover))
+        assert bag <= union
+        assert len(cover) == len(greedy_set_cover(bag, adder5))
+
+    def test_unknown_vertex_raises(self, example_hypergraph):
+        with pytest.raises(SetCoverError):
+            greedy_set_cover({"x1", "nope"}, example_hypergraph)
+        with pytest.raises(SetCoverError):
+            exact_set_cover({"x1", "nope"}, example_hypergraph)
+
 
 class TestKscBounds:
     def test_cardinality_bound(self):
@@ -134,6 +147,16 @@ class TestKscBounds:
 
     def test_overlap_zero_equals_cardinality(self):
         assert ksc_overlap_lower_bound(10, 4, 0) == ksc_lower_bound(10, 4)
+
+    def test_overlap_at_least_k_degenerates(self):
+        # Near-identical sets: only the trivial cardinality bound applies.
+        assert ksc_overlap_lower_bound(10, 4, 4) == ksc_lower_bound(10, 4)
+        with pytest.raises(ValueError):
+            ksc_overlap_lower_bound(10, 4, -1)
+
+    def test_small_universe_needs_one_set(self):
+        assert ksc_overlap_lower_bound(3, 4, 1) == 1
+        assert ksc_overlap_lower_bound(0, 4, 1) == 0
 
     def test_cover_lower_bound_sound(self, adder5):
         """The instance-aware bound never exceeds the true cover size."""
