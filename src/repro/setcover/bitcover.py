@@ -108,20 +108,20 @@ class CoverCache:
             self.exact[mask] = size
             _insort(self._exact_by_size, (size, mask))
         if self.cover.get(mask, size + 1) > size:
-            if mask not in self.cover:
-                _insort(self._cover_by_size, (size, mask))
-            else:
+            if mask in self.cover:
                 self.c_seeded.inc()
             self.cover[mask] = size
+            # Improvements are re-inserted so dominance scans see them;
+            # the stale larger entry stays behind — it recorded a valid
+            # cover size, so it is still a sound (just weaker) bound.
+            _insort(self._cover_by_size, (size, mask))
 
     def store_cover(self, mask: int, size: int) -> None:
         """Record the size of some valid (not necessarily minimum) cover."""
         known = self.cover.get(mask)
-        if known is None:
+        if known is None or size < known:
             self.cover[mask] = size
             _insort(self._cover_by_size, (size, mask))
-        elif size < known:
-            self.cover[mask] = size
 
     # -- dominance scans ------------------------------------------------
 
@@ -365,6 +365,13 @@ class BitCoverEngine:
             bag_mask, upper=ceiling, lower_cutoff=floor
         )
         size = len(forced) + len(names)
+        if ceiling is not None and size > ceiling:
+            # The search was seeded with the ceiling as a *strict* upper
+            # bound, so a minimum equal to the ceiling is pruned and the
+            # greedy fallback can come back larger.  Exhaustion then
+            # proves min >= ceiling, and the cached superset cover
+            # witnesses min <= ceiling, so the ceiling is the exact size.
+            size = ceiling
         cache.c_exact_computed.inc()
         cache.store_exact(bag_mask, size)
         return size

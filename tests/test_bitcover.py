@@ -190,6 +190,49 @@ class TestDominanceNeverContradicts:
             cold = len(exact_set_cover(bag, h))
             assert warm.exact_size(warm.mask_of(bag)) == cold
 
+    def test_ceiling_equal_minimum_not_poisoned_by_greedy_fallback(self):
+        """Regression: querying a superset caches a size-2 cover, which
+        seeds the subset's branch and bound as a *strict* upper bound.
+        The subset's true minimum is also 2, so the search exhausts and
+        used to fall back to the greedy cover (size 3 here), caching 3
+        as the exact answer."""
+        h = Hypergraph(
+            edges={
+                "a": {2, 3, 5},
+                "b": {2, 3, 4},
+                "c": {1, 4, 5},
+                "d": {1, 2, 3, 4},
+                "e": {0, 2, 3},
+                "f": {0, 3, 4},
+            }
+        )
+        engine = BitCoverEngine(h)
+        assert engine.exact_size(engine.mask_of({0, 1, 2, 3, 5})) == 2
+        assert len(greedy_set_cover({0, 1, 3, 5}, h, rng=None)) == 3
+        assert engine.exact_size(engine.mask_of({0, 1, 3, 5})) == len(
+            exact_set_cover({0, 1, 3, 5}, h)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs_with_bags(), st.randoms(use_true_random=False))
+    def test_streamed_superset_then_subset_chains(self, case, rng):
+        """Every exact_size answer along superset-before-subset query
+        streams (the pattern that warms ceilings for later subsets)
+        matches the frozenset reference on a single shared engine."""
+        h, bags = case
+        engine = BitCoverEngine(h)
+        queries = []
+        for bag in bags:
+            queries.append(bag)
+            chain = set(bag)
+            while len(chain) > 1:
+                chain.discard(rng.choice(sorted(chain, key=repr)))
+                queries.append(frozenset(chain))
+        for bag in queries:
+            assert engine.exact_size(engine.mask_of(bag)) == len(
+                exact_set_cover(bag, h)
+            )
+
     @settings(max_examples=60, deadline=None)
     @given(hypergraphs_with_bags())
     def test_upper_is_sandwiched(self, case):
