@@ -7,7 +7,12 @@ Usage::
     python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
+    python -m repro fuzz [--seed N] [--cases N] [--replay FILE]
     python -m repro instances [--kind graph|hypergraph]
+
+Solver failures exit with code 1 and a one-line ``error: ...`` on
+stderr (no traceback); tracers are flushed and closed either way, so a
+``--trace`` file is always valid JSONL up to the failure point.
 
 ``<instance-or-file>`` is either a registered benchmark instance name
 (see ``python -m repro instances``) or a path to a DIMACS ``.col`` file
@@ -74,7 +79,9 @@ def _make_tracer(args: argparse.Namespace):
 def cmd_tw(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     tracer = _make_tracer(args)
-    with tracer:
+    # finally (not a context manager): the tracer must flush and close
+    # even when the solver raises, or the trace file ends truncated.
+    try:
         if args.ga:
             result = ga_treewidth(
                 structure,
@@ -99,6 +106,8 @@ def cmd_tw(args: argparse.Namespace) -> int:
         if args.metrics:
             print(search.summary("treewidth"))
         return 0
+    finally:
+        tracer.close()
 
 
 def _print_cover_metrics(metrics: Metrics) -> None:
@@ -119,7 +128,7 @@ def cmd_ghw(args: argparse.Namespace) -> int:
         structure = Hypergraph.from_graph(structure)
     tracer = _make_tracer(args)
     metrics = Metrics() if args.metrics else None
-    with tracer:
+    try:
         if args.ga:
             result = ga_ghw(
                 structure,
@@ -149,6 +158,8 @@ def cmd_ghw(args: argparse.Namespace) -> int:
             print(search.summary("ghw"))
             _print_cover_metrics(metrics)
         return 0
+    finally:
+        tracer.close()
 
 
 def cmd_hw(args: argparse.Namespace) -> int:
@@ -247,6 +258,58 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import FAULTS, FuzzConfig, run_fuzz, run_replay, write_replay
+    from .verify.fuzz import DEFAULT_FAMILIES
+
+    if args.list_faults:
+        for name in sorted(FAULTS):
+            print(f"{name:22s} {FAULTS[name]}")
+        return 0
+    tracer = _make_tracer(args)
+    try:
+        if args.replay:
+            from .verify.fuzz import KEEP_STORED_FAULT
+
+            fault = args.fault
+            if fault is None:
+                fault = KEEP_STORED_FAULT
+            elif fault in ("none", "off"):
+                fault = None
+            report = run_replay(args.replay, fault=fault)
+        else:
+            families = (
+                tuple(name.strip() for name in args.families.split(","))
+                if args.families
+                else DEFAULT_FAMILIES
+            )
+            report = run_fuzz(FuzzConfig(
+                seed=args.seed,
+                cases=args.cases,
+                families=families,
+                fault=args.fault,
+                max_failures=args.max_failures,
+                portfolio_every=args.portfolio_every,
+                tracer=tracer,
+            ))
+    finally:
+        tracer.close()
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  {failure.summary()}")
+        for message in failure.violations[:4]:
+            print(f"    - {message}")
+    if report.failures and not args.replay:
+        path = write_replay(report.failures[0], args.write_replay)
+        print(f"  minimized counterexample written to {path} "
+              f"(re-run: python -m repro fuzz --replay {path})")
+    if args.metrics:
+        counters = report.metrics.snapshot()["counters"]
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    return 0 if report.ok else 1
+
+
 def cmd_decompose(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     ordering = min_fill_ordering(structure)
@@ -342,6 +405,38 @@ def build_parser() -> argparse.ArgumentParser:
                    "counts with --trace)")
     p.set_defaults(func=cmd_portfolio)
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the solvers and verify every certificate",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzz run seed (the run is a pure function of it)")
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of random instances (default 200)")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="re-run a stored counterexample instead of fuzzing")
+    p.add_argument("--write-replay", metavar="FILE",
+                   default="fuzz-counterexample.json",
+                   help="where to write the first minimized counterexample")
+    p.add_argument("--families", default=None,
+                   help="comma-separated instance families "
+                   "(gnm,gnp,hyper,circuit; default all)")
+    p.add_argument("--fault", default=None,
+                   help="inject a named pipeline fault (mutation gate; "
+                   "see --list-faults)")
+    p.add_argument("--list-faults", action="store_true",
+                   help="list the injectable faults and exit")
+    p.add_argument("--max-failures", type=int, default=None,
+                   help="stop after this many failing cases")
+    p.add_argument("--portfolio-every", type=int, default=0,
+                   help="also race the deterministic portfolio every Nth "
+                   "case (spawns processes; default off)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write failure events as a JSONL telemetry trace")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's fuzz counters")
+    p.set_defaults(func=cmd_fuzz)
+
     p = sub.add_parser("decompose",
                        help="emit a min-fill tree decomposition")
     p.add_argument("instance", help="instance name or file path")
@@ -357,7 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:  # noqa: BLE001 — the CLI boundary
+        # One line, nonzero exit: command failures must not dump a
+        # traceback on users (tracers were already closed in the
+        # commands' finally blocks, so --trace files stay valid).
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

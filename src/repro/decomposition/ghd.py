@@ -77,28 +77,13 @@ class GeneralizedHypertreeDecomposition(TreeDecomposition):
 
     def violations(self, structure) -> list[str]:
         """Tree-decomposition violations plus the third GHD condition
-        (χ(p) ⊆ vars(λ(p))) and λ-name sanity, against a Hypergraph."""
-        if not isinstance(structure, Hypergraph):
-            raise TypeError("GHD validation requires a Hypergraph")
-        problems = super().violations(structure)
-        edges = structure.edges
-        for node, lam in self._lambdas.items():
-            unknown = [name for name in lam if name not in edges]
-            if unknown:
-                problems.append(
-                    f"node {node!r} covers unknown hyperedges {unknown!r}"
-                )
-                continue
-            covered: set = set()
-            for name in lam:
-                covered |= edges[name]
-            missing = self.bag(node) - covered
-            if missing:
-                problems.append(
-                    f"node {node!r}: bag vertices {sorted(map(repr, missing))} "
-                    "not covered by λ"
-                )
-        return problems
+        (χ(p) ⊆ vars(λ(p))) and λ-name sanity, against a Hypergraph.
+
+        Thin wrapper over :func:`repro.verify.check_ghd`.
+        """
+        from ..verify.certificate import check_ghd
+
+        return [violation.message for violation in check_ghd(self, structure)]
 
     def is_complete(self, hypergraph: Hypergraph) -> bool:
         """Definition 14: every hyperedge has a node that both contains it

@@ -48,14 +48,13 @@ class HypertreeDecomposition(GeneralizedHypertreeDecomposition):
         return self.nodes[0]
 
     def violations(self, structure) -> list[str]:
-        """GHD violations plus the descendant condition."""
-        problems = super().violations(structure)
-        if self.num_nodes == 0 or not self.is_tree():
-            return problems
-        problems.extend(
-            self._descendant_violations(structure, self.effective_root())
-        )
-        return problems
+        """GHD violations plus the descendant condition.
+
+        Thin wrapper over :func:`repro.verify.check_htd`.
+        """
+        from ..verify.certificate import check_htd
+
+        return [violation.message for violation in check_htd(self, structure)]
 
     def subtree_variables(self, root: Hashable) -> dict[Hashable, set]:
         """Union of bags per rooted subtree (children-first computed)."""
@@ -69,27 +68,6 @@ class HypertreeDecomposition(GeneralizedHypertreeDecomposition):
                     vars_here |= out[child]
             out[node] = vars_here
         return out
-
-    def _descendant_violations(
-        self, hypergraph: Hypergraph, root: Hashable
-    ) -> list[str]:
-        problems: list[str] = []
-        subtree_vars = self.subtree_variables(root)
-        edges = hypergraph.edges
-        for node in self.topological_order(root):
-            lambda_vars: set = set()
-            for name in self.cover(node):
-                if name in edges:
-                    lambda_vars |= edges[name]
-            leaked = (lambda_vars & subtree_vars[node]) - self.bag(node)
-            if leaked:
-                problems.append(
-                    f"node {node!r} violates the descendant condition: "
-                    f"λ-vertices {sorted(map(repr, leaked))} reappear in "
-                    "its subtree but not in its bag"
-                )
-        return problems
-
 
 def htd_from_ordering(
     hypergraph: Hypergraph, ordering

@@ -217,50 +217,17 @@ class TreeDecomposition:
 
     def violations(self, structure: Graph | Hypergraph) -> list[str]:
         """Human-readable list of tree-decomposition condition violations
-        (empty iff this is a valid tree decomposition of ``structure``)."""
-        problems: list[str] = []
-        if not self.is_tree():
-            problems.append("node graph is not a tree")
-        edge_sets = _edge_sets(structure)
-        bag_values = list(self._bags.values())
-        for label, members in edge_sets:
-            if not any(members <= bag for bag in bag_values):
-                problems.append(f"edge {label} is not contained in any bag")
-        for vertex in _vertices(structure):
-            holders = self.nodes_containing(vertex)
-            if not holders:
-                problems.append(f"vertex {vertex!r} appears in no bag")
-            elif not self._nodes_connected(holders):
-                problems.append(
-                    f"vertex {vertex!r} violates the connectedness condition"
-                )
-        return problems
+        (empty iff this is a valid tree decomposition of ``structure``).
+
+        Thin wrapper over :func:`repro.verify.check_td`, which returns
+        the same conditions as structured ``Violation`` objects.
+        """
+        from ..verify.certificate import check_td
+
+        return [violation.message for violation in check_td(self, structure)]
 
     def is_valid(self, structure: Graph | Hypergraph) -> bool:
         return not self.violations(structure)
 
-    def _nodes_connected(self, nodes: list) -> bool:
-        target = set(nodes)
-        start = nodes[0]
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for other in self._tree[node]:
-                if other in target and other not in seen:
-                    seen.add(other)
-                    frontier.append(other)
-        return len(seen) == len(target)
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TreeDecomposition(nodes={self.num_nodes}, width={self.width})"
-
-
-def _edge_sets(structure: Graph | Hypergraph) -> list[tuple[str, frozenset]]:
-    if isinstance(structure, Hypergraph):
-        return [(str(name), edge) for name, edge in structure.edges.items()]
-    return [(f"{u!r}-{v!r}", frozenset((u, v))) for u, v in structure.edges()]
-
-
-def _vertices(structure: Graph | Hypergraph) -> list:
-    return structure.vertex_list()

@@ -19,6 +19,7 @@ from .bitgraph import BitGraph, as_bitgraph
 from .graph import EliminationRecord, Graph, GraphError, Vertex
 from .hypergraph import Hypergraph, HypergraphError, IncidenceIndex
 from .io import (
+    DuplicateEdgeWarning,
     FormatError,
     parse_dimacs,
     parse_hypergraph,
@@ -31,6 +32,7 @@ from .io import (
 
 __all__ = [
     "BitGraph",
+    "DuplicateEdgeWarning",
     "EliminationRecord",
     "FormatError",
     "Graph",

@@ -14,6 +14,7 @@ Supported formats:
 from __future__ import annotations
 
 import re
+import warnings
 from collections.abc import Iterable
 
 from .graph import Graph
@@ -22,6 +23,15 @@ from .hypergraph import Hypergraph
 
 class FormatError(Exception):
     """Raised when an input file does not conform to the expected format."""
+
+
+class DuplicateEdgeWarning(UserWarning):
+    """An input file declared the same edge twice.
+
+    Real benchmark files occasionally repeat edge lines; silently
+    double-counting them would skew declared-size checks and (for
+    hypergraphs) crash on the duplicate name, so parsers dedupe and
+    warn instead."""
 
 
 # ----------------------------------------------------------------------
@@ -53,8 +63,16 @@ def parse_dimacs(text: str) -> Graph:
             if len(fields) < 3:
                 raise FormatError(f"line {lineno}: malformed edge line {line!r}")
             u, v = int(fields[1]), int(fields[2])
-            if u != v:
-                graph.add_edge(u, v)
+            if u == v:
+                continue
+            if graph.has_edge(u, v):
+                warnings.warn(
+                    f"line {lineno}: duplicate edge declaration {u} {v}",
+                    DuplicateEdgeWarning,
+                    stacklevel=2,
+                )
+                continue
+            graph.add_edge(u, v)
         elif kind == "n":
             continue  # vertex weight/label lines: irrelevant for width
         else:
@@ -105,8 +123,16 @@ def parse_pace_graph(text: str) -> Graph:
             if len(fields) != 2:
                 raise FormatError(f"line {lineno}: malformed edge {line!r}")
             u, v = int(fields[0]), int(fields[1])
-            if u != v:
-                graph.add_edge(u, v)
+            if u == v:
+                continue
+            if graph.has_edge(u, v):
+                warnings.warn(
+                    f"line {lineno}: duplicate edge declaration {u} {v}",
+                    DuplicateEdgeWarning,
+                    stacklevel=2,
+                )
+                continue
+            graph.add_edge(u, v)
     if not declared:
         raise FormatError("missing 'p tw' problem line")
     return graph
@@ -150,6 +176,18 @@ def parse_hypergraph(text: str) -> Hypergraph:
         members = [tok.strip() for tok in members_text.split(",") if tok.strip()]
         if not members:
             raise FormatError(f"line {lineno}: hyperedge {name!r} has no vertices")
+        if name in hypergraph.edges:
+            if hypergraph.edges[name] == frozenset(members):
+                warnings.warn(
+                    f"line {lineno}: duplicate hyperedge declaration {name!r}",
+                    DuplicateEdgeWarning,
+                    stacklevel=2,
+                )
+                continue
+            raise FormatError(
+                f"line {lineno}: hyperedge {name!r} redeclared "
+                "with different vertices"
+            )
         hypergraph.add_edge(members, name=name)
     return hypergraph
 

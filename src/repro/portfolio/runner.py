@@ -199,58 +199,78 @@ def run_portfolio(
             entry[0].join()
         return True
 
-    with tracer.span(
-        "portfolio",
-        metric=metric,
-        jobs=jobs,
-        backends=[spec.name for spec in specs],
-        deterministic=deterministic,
-    ):
-        while pending or running:
-            while pending and len(running) < jobs:
-                index, spec = pending.pop(0)
-                config = replace(base_config, seed=seed + index)
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        spec.name, structure, config, shared, report_queue, t0,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                running[spec.name] = (process, time.monotonic())
-                if tracing:
-                    tracer.event(
-                        "worker_start", backend=spec.name, seed=seed + index
+    try:
+        with tracer.span(
+            "portfolio",
+            metric=metric,
+            jobs=jobs,
+            backends=[spec.name for spec in specs],
+            deterministic=deterministic,
+        ):
+            while pending or running:
+                while pending and len(running) < jobs:
+                    index, spec = pending.pop(0)
+                    config = replace(base_config, seed=seed + index)
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            spec.name, structure, config, shared,
+                            report_queue, t0,
+                        ),
+                        daemon=True,
                     )
-            if drain():
-                continue
-            for name, (process, started) in list(running.items()):
-                if not process.is_alive():
-                    # The report may still be in flight from the feeder
-                    # thread; give it a moment to land before declaring the
-                    # worker dead-without-report (hard crash).
-                    while drain(timeout=0.2):
-                        pass
-                    if name in reports:
-                        break
-                    process.join()
-                    running.pop(name)
-                    code = process.exitcode
-                    reports[name] = BackendReport(
-                        backend=name,
-                        error="worker exited without a report "
-                        f"(exitcode {code})",
-                    )
-                elif grace is not None and time.monotonic() - started > grace:
-                    process.terminate()
-                    process.join()
-                    running.pop(name)
-                    reports[name] = BackendReport(
-                        backend=name,
-                        error="worker exceeded the grace period "
-                        f"({grace:.0f}s); terminated",
-                    )
+                    process.start()
+                    running[spec.name] = (process, time.monotonic())
+                    if tracing:
+                        tracer.event(
+                            "worker_start", backend=spec.name,
+                            seed=seed + index,
+                        )
+                if drain():
+                    continue
+                for name, (process, started) in list(running.items()):
+                    if not process.is_alive():
+                        # The report may still be in flight from the feeder
+                        # thread; give it a moment to land before declaring
+                        # the worker dead-without-report (hard crash).
+                        while drain(timeout=0.2):
+                            pass
+                        if name in reports:
+                            break
+                        process.join()
+                        running.pop(name)
+                        code = process.exitcode
+                        reports[name] = BackendReport(
+                            backend=name,
+                            error="worker exited without a report "
+                            f"(exitcode {code})",
+                        )
+                    elif (grace is not None
+                          and time.monotonic() - started > grace):
+                        process.terminate()
+                        process.join()
+                        running.pop(name)
+                        reports[name] = BackendReport(
+                            backend=name,
+                            error="worker exceeded the grace period "
+                            f"({grace:.0f}s); terminated",
+                        )
+    finally:
+        # The wait loop can be interrupted at any point (KeyboardInterrupt,
+        # an unexpected exception while draining reports).  Without this
+        # cleanup the live workers leak past the call — terminate and join
+        # every straggler and tear the report queue down.  On the normal
+        # path ``running`` is already empty and this is a no-op.
+        for process, _ in running.values():
+            process.terminate()
+        for process, _ in running.values():
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join()
+        running.clear()
+        report_queue.close()
+        report_queue.cancel_join_thread()
 
     ordered = [reports[spec.name] for spec in specs]
     result = _aggregate(

@@ -1,0 +1,804 @@
+"""Deterministic differential fuzz harness over the whole solver zoo.
+
+One fuzz case draws a random instance from
+:mod:`repro.hypergraph.generators`, runs independent solvers on it and
+cross-examines everything they claim:
+
+* **Differential pairs** — A*-tw on the set and bit kernels, BB-tw,
+  BB-ghw on the set and bit cover engines and A*-ghw must agree; on
+  tiny instances they must also match the brute-force oracles; the
+  deterministic portfolio (optional, it spawns processes) must match
+  the exact width.
+* **Bound soundness** — GA and min-fill upper bounds may be loose but
+  never undercut the exact width; proven lower bounds never exceed
+  upper bounds; the det-k-decomp hypertree width never drops below ghw.
+* **Certificates** — every witness ordering is rebuilt into a
+  decomposition and pushed through :mod:`repro.verify.certificate`
+  (``check_td`` / ``check_ghd`` / ``check_htd`` with width accounting).
+
+On a failure the instance is delta-debugged: vertices then edges are
+deleted one at a time while the *same* check keeps failing, to a
+fixpoint, and the minimal counterexample is serialized to a JSON replay
+file that ``run_replay`` (or ``python -m repro fuzz --replay FILE``)
+re-executes byte-for-byte.
+
+The harness doubles as its own mutation gate: :data:`FAULTS` names
+hand-seeded solver/checker faults (dropped tree edge, off-by-one width,
+missing λ cover edge, descendant leak, ...) that ``fault=`` injects at
+the corresponding pipeline seam; the test suite asserts the fuzzer
+detects every one of them with a small shrunk counterexample.
+
+Everything is a pure function of ``FuzzConfig.seed``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..bounds import min_fill_ordering
+from ..decomposition import (
+    ghd_from_ordering,
+    ordering_width,
+    td_from_ordering,
+)
+from ..decomposition.htd import htd_from_ordering
+from ..genetic import GAParameters, ga_ghw, ga_treewidth
+from ..hypergraph import Graph, Hypergraph
+from ..hypergraph.generators import (
+    random_circuit_hypergraph,
+    random_gnm_graph,
+    random_gnp_graph,
+    random_hypergraph,
+)
+from ..search import (
+    astar_ghw,
+    astar_treewidth,
+    branch_and_bound_ghw,
+    branch_and_bound_treewidth,
+    brute_force_ghw,
+    brute_force_treewidth,
+)
+from ..setcover.exact import exact_set_cover
+from ..telemetry import NULL_TRACER, Metrics
+from .certificate import check_ghd, check_htd, check_td
+
+REPLAY_VERSION = 1
+
+DEFAULT_FAMILIES = ("gnm", "gnp", "hyper", "circuit")
+_GRAPH_FAMILIES = frozenset({"gnm", "gnp"})
+
+# Hand-seeded faults for the mutation gate: name -> (seam, description).
+# ``fault=name`` corrupts exactly that seam of the pipeline; the harness
+# must then report at least one failure (and shrink it small).
+FAULTS: dict[str, str] = {
+    "width-off-by-one": "BB reports an upper bound one below the optimum",
+    "lb-overclaim": "A* reports a lower bound above its own upper bound",
+    "drop-tree-edge": "a tree edge is dropped from the emitted decomposition",
+    "drop-bag-vertex": "one vertex is erased from every bag (coverage hole)",
+    "connectedness-break": "a vertex is smuggled into a far-away bag",
+    "drop-lambda-edge": "one hyperedge is dropped from a λ-label",
+    "ga-undercut": "the GA reports a fitness below the exact width",
+    "descendant-leak": "an HTD λ-label reintroduces vertices its subtree "
+    "dropped (descendant condition)",
+}
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of a fuzz run.  Two runs with equal configs are identical."""
+
+    seed: int = 0
+    cases: int = 100
+    max_graph_vertices: int = 9
+    max_hyper_vertices: int = 6
+    families: tuple[str, ...] = DEFAULT_FAMILIES
+    fault: str | None = None
+    max_failures: int | None = None  # stop after N failures (None = run all)
+    shrink: bool = True
+    ga_every: int = 2  # GA bound check on every Nth case (0 = never)
+    hw_every: int = 4  # det-k-decomp check on every Nth hypergraph case
+    portfolio_every: int = 0  # deterministic-portfolio check cadence (0 = off)
+    metrics: Metrics | None = None
+    tracer: object = NULL_TRACER
+
+    def __post_init__(self) -> None:
+        if self.cases < 0:
+            raise ValueError("cases must be non-negative")
+        unknown = [f for f in self.families if f not in DEFAULT_FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"unknown families {unknown!r} (choose from {DEFAULT_FAMILIES})"
+            )
+        if not self.families:
+            raise ValueError("at least one family is required")
+        if self.fault is not None and self.fault not in FAULTS:
+            raise ValueError(
+                f"unknown fault {self.fault!r} (choose from {sorted(FAULTS)})"
+            )
+
+
+@dataclass
+class _Finding:
+    """One broken invariant observed while checking a single instance."""
+
+    check: str
+    detail: str
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FuzzFailure:
+    """A confirmed, shrunk counterexample."""
+
+    check: str
+    detail: str
+    violations: list[str]
+    family: str
+    case_index: int
+    case_seed: int
+    structure: Graph | Hypergraph
+    original_vertices: int
+    shrink_steps: int
+    fault: str | None = None
+
+    def summary(self) -> str:
+        size = (
+            f"{self.structure.num_vertices} vertices / "
+            f"{self.structure.num_edges} edges"
+        )
+        shrunk = (
+            f" (shrunk from {self.original_vertices} vertices in "
+            f"{self.shrink_steps} steps)"
+            if self.shrink_steps
+            else ""
+        )
+        return (
+            f"case {self.case_index} [{self.family}, seed {self.case_seed}] "
+            f"{self.check}: {self.detail} — {size}{shrunk}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    seed: int
+    cases_run: int
+    failures: list[FuzzFailure]
+    metrics: Metrics
+    elapsed_seconds: float
+    fault: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = (
+            "all clean"
+            if self.ok
+            else f"{len(self.failures)} failing case(s)"
+        )
+        fault = f", fault={self.fault}" if self.fault else ""
+        return (
+            f"fuzz: {self.cases_run} cases (seed {self.seed}{fault}) — "
+            f"{verdict} in {self.elapsed_seconds:.2f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Instance generation
+# ----------------------------------------------------------------------
+
+
+def _generate(family: str, case_seed: int, config: FuzzConfig):
+    rng = random.Random(case_seed)
+    if family == "gnm":
+        n = rng.randint(2, config.max_graph_vertices)
+        m = rng.randint(0, n * (n - 1) // 2)
+        return random_gnm_graph(n, m, seed=rng.randrange(2**31))
+    if family == "gnp":
+        n = rng.randint(2, config.max_graph_vertices)
+        return random_gnp_graph(n, rng.uniform(0.0, 0.9),
+                                seed=rng.randrange(2**31))
+    if family == "hyper":
+        n = rng.randint(2, config.max_hyper_vertices)
+        e = rng.randint(1, n + 2)
+        h = random_hypergraph(n, e, seed=rng.randrange(2**31),
+                              min_arity=1, max_arity=min(3, n))
+    elif family == "circuit":
+        n = rng.randint(3, config.max_hyper_vertices)
+        e = rng.randint(2, n + 2)
+        h = random_circuit_hypergraph(n, e, seed=rng.randrange(2**31),
+                                      max_arity=3)
+    else:  # pragma: no cover - guarded by FuzzConfig
+        raise ValueError(f"unknown family {family!r}")
+    # ghw needs every vertex inside some hyperedge.
+    for v in sorted(h.isolated_vertices()):
+        h.add_edge({v, (v + 1) % n} if n > 1 else {v}, name=f"iso{v}")
+    return h
+
+
+# ----------------------------------------------------------------------
+# Fault injection (the mutation gate's seams)
+# ----------------------------------------------------------------------
+
+
+class _FaultInjector:
+    """Applies one named corruption at its pipeline seam.
+
+    All choices are deterministic functions of the artifact being
+    corrupted, so a shrink re-run reproduces the same corruption.
+    """
+
+    def __init__(self, fault: str | None):
+        self.fault = fault
+        self.applied = 0
+
+    def result(self, result, role: str) -> None:
+        """Corrupt a SearchResult in place (width / bound seams)."""
+        if self.fault == "width-off-by-one" and role.startswith("bb"):
+            if result.exact and result.upper_bound > 0:
+                result.upper_bound -= 1
+                result.lower_bound = min(
+                    result.lower_bound, result.upper_bound
+                )
+                self.applied += 1
+        elif self.fault == "lb-overclaim" and role.startswith("astar"):
+            result.lower_bound = result.upper_bound + 1
+            result.exact = False
+            self.applied += 1
+
+    def ga(self, fitness: int, exact_width: int) -> int:
+        """Corrupt a GA fitness claim."""
+        if self.fault == "ga-undercut" and exact_width > 0:
+            self.applied += 1
+            return exact_width - 1
+        return fitness
+
+    def decomposition(self, dec) -> None:
+        """Corrupt an emitted decomposition in place (checker seams)."""
+        if self.fault == "drop-tree-edge":
+            edges = sorted(dec.tree_edges(), key=repr)
+            if edges:
+                a, b = edges[0]
+                dec._tree[a].discard(b)  # noqa: SLF001 — deliberate sabotage
+                dec._tree[b].discard(a)
+                self.applied += 1
+        elif self.fault == "drop-bag-vertex":
+            vertices = sorted(dec.covered_vertices(), key=repr)
+            if vertices:
+                victim = vertices[0]
+                for node in dec.nodes:
+                    bag = dec.bag(node)
+                    if victim in bag:
+                        dec.set_bag(node, bag - {victim})
+                self.applied += 1
+        elif self.fault == "connectedness-break":
+            self._break_connectedness(dec)
+        elif self.fault == "drop-lambda-edge" and hasattr(dec, "covers"):
+            candidates = [
+                (node, lam) for node, lam in sorted(
+                    dec.covers.items(), key=lambda kv: repr(kv[0])
+                ) if lam and dec.bag(node)
+            ]
+            if candidates:
+                node, lam = max(candidates, key=lambda kv: len(kv[1]))
+                dec.set_cover(node, lam - {sorted(lam, key=repr)[0]})
+                self.applied += 1
+
+    def _break_connectedness(self, dec) -> None:
+        """Add a vertex to a bag with no tree-neighbour holding it."""
+        if dec.num_nodes < 3:
+            return
+        for vertex in sorted(dec.covered_vertices(), key=repr):
+            holders = set(dec.nodes_containing(vertex))
+            for node in dec.nodes:
+                if node in holders:
+                    continue
+                if dec.tree_neighbors(node) & holders:
+                    continue
+                dec.set_bag(node, dec.bag(node) | {vertex})
+                self.applied += 1
+                return
+
+    def htd(self, htd, hypergraph: Hypergraph) -> None:
+        """Corrupt an HTD so that *only* the descendant condition breaks:
+        grow a λ-label by an edge whose vertices reappear below."""
+        if self.fault != "descendant-leak":
+            return
+        root = htd.effective_root()
+        subtree = htd.subtree_variables(root)
+        for node in htd.topological_order(root):
+            for name in sorted(hypergraph.edges, key=repr):
+                leaked = (
+                    (hypergraph.edges[name] & subtree[node]) - htd.bag(node)
+                )
+                if leaked:
+                    htd.set_cover(node, htd.cover(node) | {name})
+                    self.applied += 1
+                    return
+
+
+# ----------------------------------------------------------------------
+# Per-instance check pipelines
+# ----------------------------------------------------------------------
+
+_GA_GRAPH = GAParameters(population_size=8, generations=4)
+_GA_HYPER = GAParameters(population_size=8, generations=4)
+
+
+def _certify_td(graph, result, role, fault) -> list[_Finding]:
+    if result.ordering is None:
+        return []
+    td = td_from_ordering(graph, result.ordering)
+    fault.decomposition(td)
+    problems = check_td(td, graph, claimed_width=result.upper_bound)
+    if problems:
+        return [_Finding(
+            "td-certificate",
+            f"{role} witness ordering builds an invalid tree decomposition",
+            [str(p) for p in problems],
+        )]
+    return []
+
+
+def _check_graph(graph: Graph, case_seed: int, index: int,
+                 config: FuzzConfig) -> list[_Finding]:
+    fault = _FaultInjector(config.fault)
+    findings: list[_Finding] = []
+    try:
+        results = {
+            "astar-bit": astar_treewidth(graph.copy(), kernel="bit"),
+            "astar-set": astar_treewidth(graph.copy(), kernel="set"),
+            "bb": branch_and_bound_treewidth(graph.copy(), kernel="bit"),
+        }
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
+        return [_Finding("solver-exception",
+                         f"{type(exc).__name__}: {exc}")]
+    fault.result(results["astar-bit"], "astar-bit")
+    fault.result(results["bb"], "bb")
+
+    for role, result in results.items():
+        if result.lower_bound > result.upper_bound:
+            findings.append(_Finding(
+                "bounds-inconsistent",
+                f"{role}: lower bound {result.lower_bound} exceeds upper "
+                f"bound {result.upper_bound}",
+            ))
+    exact_widths = {
+        role: r.upper_bound for role, r in results.items() if r.exact
+    }
+    if len(set(exact_widths.values())) > 1:
+        findings.append(_Finding(
+            "tw-differential",
+            f"exact solvers disagree: {sorted(exact_widths.items())}",
+        ))
+    if exact_widths and graph.num_vertices <= 8:
+        oracle = brute_force_treewidth(graph.copy())
+        wrong = {r: w for r, w in exact_widths.items() if w != oracle}
+        if wrong:
+            findings.append(_Finding(
+                "tw-oracle",
+                f"brute force says {oracle}, solvers said {sorted(wrong.items())}",
+            ))
+    for role, result in results.items():
+        findings.extend(_certify_td(graph, result, role, fault))
+
+    if exact_widths:
+        exact = min(exact_widths.values())
+        mf_width = ordering_width(graph, min_fill_ordering(graph))
+        if mf_width < exact:
+            findings.append(_Finding(
+                "heuristic-undercut",
+                f"min-fill width {mf_width} undercuts exact width {exact}",
+            ))
+        if config.ga_every and index % config.ga_every == 0:
+            ga = ga_treewidth(graph.copy(), _GA_GRAPH,
+                              rng=random.Random(case_seed))
+            fitness = fault.ga(int(ga.best_fitness), exact)
+            if fitness < exact:
+                findings.append(_Finding(
+                    "ga-undercut",
+                    f"GA-tw fitness {fitness} undercuts exact width {exact}",
+                ))
+        if config.portfolio_every and index % config.portfolio_every == 0:
+            findings.extend(_check_portfolio(graph, "tw", exact))
+    return findings
+
+
+def _check_hypergraph(h: Hypergraph, case_seed: int, index: int,
+                      config: FuzzConfig) -> list[_Finding]:
+    fault = _FaultInjector(config.fault)
+    findings: list[_Finding] = []
+    try:
+        results = {
+            "bb-bit": branch_and_bound_ghw(h.copy(), cover="bit"),
+            "bb-set": branch_and_bound_ghw(h.copy(), cover="set"),
+            "astar": astar_ghw(h.copy(), cover="bit"),
+        }
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
+        return [_Finding("solver-exception",
+                         f"{type(exc).__name__}: {exc}")]
+    fault.result(results["bb-bit"], "bb-bit")
+    fault.result(results["astar"], "astar")
+
+    for role, result in results.items():
+        if result.lower_bound > result.upper_bound:
+            findings.append(_Finding(
+                "bounds-inconsistent",
+                f"{role}: lower bound {result.lower_bound} exceeds upper "
+                f"bound {result.upper_bound}",
+            ))
+    exact_widths = {
+        role: r.upper_bound for role, r in results.items() if r.exact
+    }
+    if len(set(exact_widths.values())) > 1:
+        findings.append(_Finding(
+            "ghw-differential",
+            f"exact solvers disagree: {sorted(exact_widths.items())}",
+        ))
+    if exact_widths and h.num_vertices <= 6:
+        oracle = brute_force_ghw(h.copy())
+        wrong = {r: w for r, w in exact_widths.items() if w != oracle}
+        if wrong:
+            findings.append(_Finding(
+                "ghw-oracle",
+                f"brute force says {oracle}, solvers said {sorted(wrong.items())}",
+            ))
+    for role, result in results.items():
+        if result.ordering is None:
+            continue
+        ghd = ghd_from_ordering(h, result.ordering,
+                                cover_function=exact_set_cover)
+        fault.decomposition(ghd)
+        problems = check_ghd(ghd, h, claimed_width=result.upper_bound)
+        if problems:
+            findings.append(_Finding(
+                "ghd-certificate",
+                f"{role} witness ordering builds an invalid GHD",
+                [str(p) for p in problems],
+            ))
+
+    exact = min(exact_widths.values()) if exact_widths else None
+    htd = htd_from_ordering(h, min_fill_ordering(h))
+    fault.htd(htd, h)
+    problems = check_htd(htd, h)
+    if problems:
+        findings.append(_Finding(
+            "htd-certificate",
+            "min-fill hypertree decomposition is invalid",
+            [str(p) for p in problems],
+        ))
+    elif exact is not None and htd.ghw_width < exact:
+        findings.append(_Finding(
+            "hw-undercut",
+            f"hw upper bound {htd.ghw_width} undercuts ghw {exact}",
+        ))
+
+    if exact is not None:
+        if config.ga_every and index % config.ga_every == 0:
+            ga = ga_ghw(h.copy(), _GA_HYPER, rng=random.Random(case_seed))
+            fitness = fault.ga(int(ga.best_fitness), exact)
+            if fitness < exact:
+                findings.append(_Finding(
+                    "ga-undercut",
+                    f"GA-ghw fitness {fitness} undercuts exact ghw {exact}",
+                ))
+        if config.hw_every and index % config.hw_every == 0:
+            findings.extend(_check_detk(h, exact))
+        if config.portfolio_every and index % config.portfolio_every == 0:
+            findings.extend(_check_portfolio(h, "ghw", exact))
+    return findings
+
+
+def _check_detk(h: Hypergraph, exact_ghw: int) -> list[_Finding]:
+    from ..search import hypertree_width
+
+    try:
+        hw, htd = hypertree_width(h.copy())
+    except Exception as exc:  # noqa: BLE001
+        return [_Finding("solver-exception",
+                         f"det-k-decomp: {type(exc).__name__}: {exc}")]
+    findings = []
+    problems = check_htd(htd, h, claimed_width=hw)
+    if problems:
+        findings.append(_Finding(
+            "htd-certificate",
+            "det-k-decomp emitted an invalid hypertree decomposition",
+            [str(p) for p in problems],
+        ))
+    if hw < exact_ghw:
+        findings.append(_Finding(
+            "hw-undercut",
+            f"det-k-decomp hw {hw} undercuts ghw {exact_ghw}",
+        ))
+    return findings
+
+
+def _check_portfolio(structure, metric: str, exact: int) -> list[_Finding]:
+    from ..portfolio import run_portfolio
+
+    try:
+        result = run_portfolio(
+            structure, jobs=2, deterministic=True, metric=metric,
+            budget_seconds=30.0,
+        )
+    except Exception as exc:  # noqa: BLE001
+        return [_Finding("solver-exception",
+                         f"portfolio: {type(exc).__name__}: {exc}")]
+    if result.upper_bound < exact:
+        return [_Finding(
+            "portfolio-differential",
+            f"portfolio {metric} upper bound {result.upper_bound} "
+            f"undercuts exact {exact}",
+        )]
+    if result.exact and result.upper_bound != exact:
+        return [_Finding(
+            "portfolio-differential",
+            f"portfolio claims exact {metric} {result.upper_bound}, "
+            f"solvers proved {exact}",
+        )]
+    return []
+
+
+def _check_structure(structure, case_seed: int, index: int,
+                     config: FuzzConfig) -> list[_Finding]:
+    if isinstance(structure, Hypergraph):
+        return _check_hypergraph(structure, case_seed, index, config)
+    return _check_graph(structure, case_seed, index, config)
+
+
+# ----------------------------------------------------------------------
+# Delta-debugging shrinker
+# ----------------------------------------------------------------------
+
+
+def _deleting_vertex(structure, vertex):
+    candidate = structure.copy()
+    candidate.remove_vertex(vertex)
+    return candidate if candidate.num_vertices >= 1 else None
+
+
+def _deleting_edge(structure, edge):
+    candidate = structure.copy()
+    if isinstance(structure, Hypergraph):
+        candidate.remove_edge(edge)
+    else:
+        candidate.remove_edge(*edge)
+    return candidate
+
+
+def _shrink(structure, predicate, max_rounds: int = 16):
+    """Greedy ddmin: delete vertices then edges while the failure
+    reproduces; iterate to a fixpoint.  Returns (minimal, steps)."""
+    steps = 0
+    for _ in range(max_rounds):
+        changed = False
+        for vertex in sorted(structure.vertex_list(), key=repr):
+            candidate = _deleting_vertex(structure, vertex)
+            if candidate is not None and predicate(candidate):
+                structure = candidate
+                steps += 1
+                changed = True
+        edges = (
+            sorted(structure.edges, key=repr)
+            if isinstance(structure, Hypergraph)
+            else sorted(structure.edges(), key=repr)
+        )
+        for edge in edges:
+            try:
+                candidate = _deleting_edge(structure, edge)
+            except Exception:  # edge already gone via a vertex deletion
+                continue
+            if predicate(candidate):
+                structure = candidate
+                steps += 1
+                changed = True
+        if not changed:
+            break
+    return structure, steps
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+def run_fuzz(config: FuzzConfig | None = None, **overrides) -> FuzzReport:
+    """Run the differential fuzzer; pure function of the config.
+
+    Keyword overrides build a config on the fly:
+    ``run_fuzz(seed=7, cases=200)``.
+    """
+    if config is None:
+        config = FuzzConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a config or keyword overrides")
+    rng = random.Random(config.seed)
+    metrics = config.metrics if config.metrics is not None else Metrics()
+    tracer = config.tracer
+    failures: list[FuzzFailure] = []
+    started = time.monotonic()
+    cases_run = 0
+    for index in range(config.cases):
+        family = config.families[rng.randrange(len(config.families))]
+        case_seed = rng.randrange(2**31)
+        structure = _generate(family, case_seed, config)
+        cases_run += 1
+        metrics.counter("fuzz.cases").inc()
+        metrics.counter(f"fuzz.family.{family}").inc()
+        findings = _check_structure(structure, case_seed, index, config)
+        if not findings:
+            continue
+        finding = findings[0]
+        metrics.counter("fuzz.failures").inc()
+        metrics.counter(f"fuzz.finding.{finding.check}").inc()
+        if tracer is not NULL_TRACER:
+            tracer.event(
+                "fuzz_failure", case=index, family=family,
+                check=finding.check, detail=finding.detail,
+            )
+        original_vertices = structure.num_vertices
+        shrink_steps = 0
+        if config.shrink:
+            def reproduces(candidate, _check=finding.check):
+                return any(
+                    f.check == _check
+                    for f in _check_structure(candidate, case_seed, index,
+                                              config)
+                )
+
+            structure, shrink_steps = _shrink(structure, reproduces)
+            metrics.counter("fuzz.shrink_steps").inc(shrink_steps)
+            # Re-derive the finding on the minimal instance so the
+            # replay file describes exactly what it contains.
+            minimal = [
+                f for f in _check_structure(structure, case_seed, index,
+                                            config)
+                if f.check == finding.check
+            ]
+            if minimal:
+                finding = minimal[0]
+        failures.append(FuzzFailure(
+            check=finding.check,
+            detail=finding.detail,
+            violations=finding.violations,
+            family=family,
+            case_index=index,
+            case_seed=case_seed,
+            structure=structure,
+            original_vertices=original_vertices,
+            shrink_steps=shrink_steps,
+            fault=config.fault,
+        ))
+        if (config.max_failures is not None
+                and len(failures) >= config.max_failures):
+            break
+    return FuzzReport(
+        seed=config.seed,
+        cases_run=cases_run,
+        failures=failures,
+        metrics=metrics,
+        elapsed_seconds=time.monotonic() - started,
+        fault=config.fault,
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay files
+# ----------------------------------------------------------------------
+
+
+def _serialize_structure(structure) -> dict:
+    if isinstance(structure, Hypergraph):
+        return {
+            "kind": "hypergraph",
+            "vertices": list(structure.vertex_list()),
+            "edges": {str(name): sorted(edge, key=repr)
+                      for name, edge in structure.edges.items()},
+        }
+    return {
+        "kind": "graph",
+        "vertices": list(structure.vertex_list()),
+        "edges": [list(edge) for edge in structure.edges()],
+    }
+
+
+def _deserialize_structure(data: dict):
+    if data["kind"] == "hypergraph":
+        h = Hypergraph(vertices=data["vertices"])
+        for name, members in data["edges"].items():
+            h.add_edge(members, name=name)
+        return h
+    g = Graph(vertices=data["vertices"])
+    for u, v in data["edges"]:
+        g.add_edge(u, v)
+    return g
+
+
+def write_replay(failure: FuzzFailure, path) -> str:
+    """Serialize a minimized counterexample; returns the path written."""
+    payload = {
+        "version": REPLAY_VERSION,
+        "check": failure.check,
+        "detail": failure.detail,
+        "violations": failure.violations,
+        "family": failure.family,
+        "case_index": failure.case_index,
+        "case_seed": failure.case_seed,
+        "fault": failure.fault,
+        "original_vertices": failure.original_vertices,
+        "shrink_steps": failure.shrink_steps,
+        "structure": _serialize_structure(failure.structure),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return str(path)
+
+
+def load_replay(path) -> tuple[Graph | Hypergraph, dict]:
+    """Read a replay file back into (structure, metadata)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("version") != REPLAY_VERSION:
+        raise ValueError(
+            f"unsupported replay version {payload.get('version')!r}"
+        )
+    return _deserialize_structure(payload["structure"]), payload
+
+
+KEEP_STORED_FAULT = "__stored__"
+
+
+def run_replay(path, fault: str | None = KEEP_STORED_FAULT) -> FuzzReport:
+    """Re-run all checks on a stored counterexample.
+
+    By default the replay re-injects the fault recorded in the file;
+    pass ``fault=None`` (CLI: ``--fault none``) to replay without it —
+    that is how you confirm a fix — or another fault name to override.
+    """
+    structure, payload = load_replay(path)
+    if fault == KEEP_STORED_FAULT:
+        fault = payload.get("fault")
+    config = FuzzConfig(
+        cases=0,
+        fault=fault,
+        shrink=False,
+        ga_every=1,
+        hw_every=1,
+    )
+    metrics = Metrics()
+    started = time.monotonic()
+    findings = _check_structure(
+        structure, payload.get("case_seed", 0), 0, config
+    )
+    metrics.counter("fuzz.cases").inc()
+    failures = [
+        FuzzFailure(
+            check=f.check,
+            detail=f.detail,
+            violations=f.violations,
+            family=payload.get("family", "replay"),
+            case_index=payload.get("case_index", 0),
+            case_seed=payload.get("case_seed", 0),
+            structure=structure,
+            original_vertices=structure.num_vertices,
+            shrink_steps=0,
+            fault=config.fault,
+        )
+        for f in findings
+    ]
+    for failure in failures:
+        metrics.counter("fuzz.failures").inc()
+        metrics.counter(f"fuzz.finding.{failure.check}").inc()
+    return FuzzReport(
+        seed=payload.get("case_seed", 0),
+        cases_run=1,
+        failures=failures,
+        metrics=metrics,
+        elapsed_seconds=time.monotonic() - started,
+        fault=config.fault,
+    )

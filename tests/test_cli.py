@@ -108,8 +108,37 @@ class TestCommands:
         assert "error:" in out
 
     def test_portfolio_unknown_backend(self, capsys):
-        with pytest.raises(ValueError, match="unknown backend"):
-            main(["portfolio", "myciel3", "--backends", "nope"])
+        # Solver errors surface as a one-line stderr message and a
+        # nonzero exit, not a traceback.
+        assert main(["portfolio", "myciel3", "--backends", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown backend" in err
+
+    def test_solver_failure_closes_tracer(self, capsys, tmp_path, monkeypatch):
+        # Regression: a raising solver used to leave the --trace file
+        # open (truncated, unflushed) and dump a traceback.  The tracer
+        # must be closed in ``finally`` and the error reported as one
+        # stderr line with a nonzero exit.
+        import json
+
+        import repro.cli as cli
+
+        def exploding_solver(structure, budget=None, **kwargs):
+            budget.tracer.event("probe", progress=1)
+            raise RuntimeError("injected solver failure")
+
+        monkeypatch.setattr(cli, "astar_treewidth", exploding_solver)
+        trace = tmp_path / "trace.jsonl"
+        assert main(["tw", "myciel3", "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "injected solver failure" in err
+        # The pre-crash record made it to disk and every line is JSON.
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert any(record.get("name") == "probe" for record in records)
 
     def test_ghw_from_hypergraph_file(self, capsys, tmp_path):
         # The file-sniffing path: a hyperedge list (no DIMACS header)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.hypergraph import (
+    DuplicateEdgeWarning,
     FormatError,
     Graph,
     parse_dimacs,
@@ -24,7 +25,14 @@ class TestDimacs:
 
     def test_parse_ignores_duplicates_and_loops(self):
         text = "p edge 3 4\ne 1 2\ne 2 1\ne 1 1\ne 2 3\n"
+        with pytest.warns(DuplicateEdgeWarning, match="line 3"):
+            g = parse_dimacs(text)
+        assert g.num_edges == 2
+
+    def test_parse_tolerates_trailing_whitespace_and_blanks(self):
+        text = "c header comment   \n\np edge 3 2  \n   \ne 1 2\t\nc mid\ne 2 3   \n\n"
         g = parse_dimacs(text)
+        assert g.num_vertices == 3
         assert g.num_edges == 2
 
     def test_parse_missing_header(self):
@@ -66,6 +74,13 @@ class TestPaceFormat:
 
         with pytest.raises(FormatError):
             parse_pace_graph("1 2\n")
+
+    def test_parse_warns_on_duplicate_edges(self):
+        from repro.hypergraph import parse_pace_graph
+
+        with pytest.warns(DuplicateEdgeWarning, match="line 4"):
+            g = parse_pace_graph("p tw 3 3\n1 2\n2 3\n3 2\n")
+        assert g.num_edges == 2
 
     def test_parse_bad_header(self):
         from repro.hypergraph import parse_pace_graph
@@ -111,6 +126,23 @@ class TestHypergraphFormat:
     def test_parse_rejects_empty_edge(self):
         with pytest.raises(FormatError):
             parse_hypergraph("foo(),\n")
+
+    def test_parse_tolerates_trailing_whitespace(self):
+        text = "foo(a,b),   \n\t\nbar(b,c).\t\n"
+        h = parse_hypergraph(text)
+        assert h.num_edges == 2
+
+    def test_duplicate_identical_edge_warns_and_dedupes(self):
+        text = "foo(a,b),\nbar(b,c),\nfoo(b, a),\n"
+        with pytest.warns(DuplicateEdgeWarning, match="line 3"):
+            h = parse_hypergraph(text)
+        assert h.num_edges == 2
+        assert h.edge("foo") == frozenset({"a", "b"})
+
+    def test_duplicate_conflicting_edge_rejected(self):
+        text = "foo(a,b),\nfoo(a,c),\n"
+        with pytest.raises(FormatError, match="redeclared"):
+            parse_hypergraph(text)
 
     def test_roundtrip(self, example_hypergraph):
         text = write_hypergraph(example_hypergraph)

@@ -269,3 +269,57 @@ class TestPortfolioLive:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError, match="jobs"):
             run_portfolio(get_instance("myciel3").build(), jobs=0)
+
+
+class TestWorkerCleanup:
+    def test_interrupted_wait_loop_leaves_no_live_workers(self, monkeypatch):
+        # Regression: an interrupt while waiting for reports used to
+        # leak the live worker processes past the call.  Interrupt the
+        # first report-queue read (after the wave has started) and
+        # check every spawned worker is dead once run_portfolio raises.
+        from repro.portfolio import runner as runner_module
+
+        spawned = []
+        real_get_context = multiprocessing.get_context
+
+        class InterruptingQueue:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def get(self, *args, **kwargs):
+                raise KeyboardInterrupt
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        class RecordingContext:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def Queue(self, *args, **kwargs):
+                return InterruptingQueue(self._inner.Queue(*args, **kwargs))
+
+            def Process(self, *args, **kwargs):
+                process = self._inner.Process(*args, **kwargs)
+                spawned.append(process)
+                return process
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing,
+            "get_context",
+            lambda *a, **k: RecordingContext(real_get_context(*a, **k)),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_portfolio(
+                get_instance("queen6_6").build(),
+                backends=["bb-tw", "astar-tw"],
+                jobs=2,
+                budget_seconds=60.0,
+            )
+        assert spawned, "workers must have started before the interrupt"
+        for process in spawned:
+            process.join(timeout=10.0)
+        assert not any(process.is_alive() for process in spawned)

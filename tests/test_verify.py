@@ -1,0 +1,231 @@
+"""Tests for the certificate checkers (``repro.verify.certificate``).
+
+The checkers are the single source of truth for decomposition validity;
+the legacy string-list ``violations()`` methods are thin wrappers over
+them.  The property tests here pin both facts: random valid
+decompositions certify clean, targeted mutations produce exactly the
+expected machine-readable kind, and the wrapper output never drifts
+from the checkers' messages.
+"""
+
+import random
+
+import pytest
+
+from repro.bounds import min_fill_ordering
+from repro.decomposition import (
+    GeneralizedHypertreeDecomposition,
+    TreeDecomposition,
+    ghd_from_ordering,
+    td_from_ordering,
+)
+from repro.decomposition.htd import HypertreeDecomposition, htd_from_ordering
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import random_gnm_graph, random_hypergraph
+from repro.setcover.exact import exact_set_cover
+from repro.verify import (
+    ALL_KINDS,
+    BAG_NOT_COVERED,
+    DESCENDANT_CONDITION,
+    EDGE_UNCOVERED,
+    NOT_A_TREE,
+    UNKNOWN_LAMBDA_EDGE,
+    VERTEX_DISCONNECTED,
+    VERTEX_UNCOVERED,
+    WIDTH_OVERCLAIM,
+    Certificate,
+    certify,
+    check_decomposition,
+    check_ghd,
+    check_htd,
+    check_td,
+)
+
+
+def _random_graph(seed):
+    rng = random.Random(seed)
+    n = rng.randint(2, 9)
+    m = rng.randint(1, n * (n - 1) // 2)
+    return random_gnm_graph(n, m, seed=rng.randrange(2**31))
+
+
+def _random_hyper(seed):
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    e = rng.randint(1, n + 2)
+    h = random_hypergraph(n, e, seed=rng.randrange(2**31),
+                          min_arity=1, max_arity=min(3, n))
+    for v in sorted(h.isolated_vertices()):
+        h.add_edge({v}, name=f"iso{v}")
+    return h
+
+
+class TestCheckTD:
+    def test_random_valid_decompositions_certify_clean(self):
+        for seed in range(25):
+            graph = _random_graph(seed)
+            td = td_from_ordering(graph, min_fill_ordering(graph))
+            assert check_td(td, graph) == []
+            assert td.violations(graph) == []
+
+    def test_agrees_with_legacy_on_random_mutations(self):
+        # Mutate valid decompositions three ways; on every (valid or
+        # broken) instance the wrapper's strings must be exactly the
+        # checkers' messages, and every kind must be registered.
+        for seed in range(25):
+            rng = random.Random(1000 + seed)
+            graph = _random_graph(seed)
+            td = td_from_ordering(graph, min_fill_ordering(graph))
+            mutation = rng.choice(("tree-edge", "bag-vertex", "smuggle"))
+            if mutation == "tree-edge" and td.num_nodes > 1:
+                a, b = sorted(td.tree_edges(), key=repr)[0]
+                td._tree[a].discard(b)
+                td._tree[b].discard(a)
+            elif mutation == "bag-vertex":
+                victim = sorted(td.covered_vertices(), key=repr)[0]
+                for node in td.nodes:
+                    td.set_bag(node, td.bag(node) - {victim})
+            else:
+                vertex = sorted(graph.vertex_list(), key=repr)[0]
+                for node in td.nodes:
+                    holders = set(td.nodes_containing(vertex))
+                    if (node not in holders
+                            and not (td.tree_neighbors(node) & holders)):
+                        td.set_bag(node, td.bag(node) | {vertex})
+                        break
+            problems = check_td(td, graph)
+            assert td.violations(graph) == [p.message for p in problems]
+            assert all(p.kind in ALL_KINDS for p in problems)
+
+    def test_dropped_tree_edge_detected(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        td = td_from_ordering(graph, [1, 2, 3, 4])
+        a, b = td.tree_edges()[0]
+        td._tree[a].discard(b)
+        td._tree[b].discard(a)
+        kinds = {p.kind for p in check_td(td, graph)}
+        assert NOT_A_TREE in kinds
+
+    def test_uncovered_vertex_and_edge_detected(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        td = td_from_ordering(graph, [1, 2, 3])
+        for node in td.nodes:
+            td.set_bag(node, td.bag(node) - {1})
+        problems = check_td(td, graph)
+        kinds = {p.kind for p in problems}
+        assert kinds == {VERTEX_UNCOVERED, EDGE_UNCOVERED}
+        witness = [p for p in problems if p.kind == VERTEX_UNCOVERED][0]
+        assert witness.vertices == (1,)
+
+    def test_connectedness_violation_detected(self):
+        td = TreeDecomposition()
+        td.add_node("a", bag={1, 2})
+        td.add_node("b", bag={2, 3})
+        td.add_node("c", bag={3, 1})  # 1 reappears, 'b' between lacks it
+        td.add_tree_edge("a", "b")
+        td.add_tree_edge("b", "c")
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        problems = check_td(td, graph)
+        assert [p.kind for p in problems] == [VERTEX_DISCONNECTED]
+        assert problems[0].vertices == (1,)
+
+    def test_width_overclaim(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        td = td_from_ordering(graph, [1, 2, 3])
+        assert check_td(td, graph, claimed_width=td.width) == []
+        problems = check_td(td, graph, claimed_width=td.width - 1)
+        assert [p.kind for p in problems] == [WIDTH_OVERCLAIM]
+        cert = certify(td, graph, claimed_width=td.width - 1)
+        assert isinstance(cert, Certificate)
+        assert cert.valid and not cert.ok  # structure fine, claim dishonest
+
+
+class TestCheckGHD:
+    def test_random_valid_ghds_certify_clean(self):
+        for seed in range(15):
+            h = _random_hyper(seed)
+            ghd = ghd_from_ordering(h, min_fill_ordering(h),
+                                    cover_function=exact_set_cover)
+            assert check_ghd(ghd, h) == []
+            assert ghd.violations(h) == []
+
+    def test_agrees_with_legacy_on_dropped_lambda_edges(self):
+        for seed in range(15):
+            h = _random_hyper(seed)
+            ghd = ghd_from_ordering(h, min_fill_ordering(h),
+                                    cover_function=exact_set_cover)
+            for node in ghd.nodes:
+                lam = ghd.cover(node)
+                if lam and ghd.bag(node):
+                    ghd.set_cover(node, lam - {sorted(lam, key=repr)[0]})
+                    break
+            problems = check_ghd(ghd, h)
+            assert ghd.violations(h) == [p.message for p in problems]
+
+    def test_bag_cover_violation_detected(self):
+        h = Hypergraph()
+        h.add_edge(["a", "b"], name="e1")
+        ghd = GeneralizedHypertreeDecomposition()
+        ghd.add_node("p", bag={"a", "b"}, cover=())  # empty λ covers nothing
+        problems = check_ghd(ghd, h)
+        assert [p.kind for p in problems] == [BAG_NOT_COVERED]
+        assert problems[0].vertices == ("a", "b")
+
+    def test_unknown_lambda_edge_detected(self):
+        h = Hypergraph()
+        h.add_edge(["a", "b"], name="e1")
+        ghd = GeneralizedHypertreeDecomposition()
+        ghd.add_node("p", bag={"a", "b"}, cover={"nope"})
+        kinds = [p.kind for p in check_ghd(ghd, h)]
+        assert kinds == [UNKNOWN_LAMBDA_EDGE]
+
+    def test_requires_a_hypergraph(self):
+        ghd = GeneralizedHypertreeDecomposition()
+        ghd.add_node("p", bag={1, 2}, cover=())
+        with pytest.raises(TypeError, match="Hypergraph"):
+            check_ghd(ghd, Graph.from_edges([(1, 2)]))
+
+
+class TestCheckHTD:
+    def _fixture(self):
+        h = Hypergraph()
+        h.add_edge(["a", "b"], name="e1")
+        h.add_edge(["b", "c"], name="e2")
+        htd = HypertreeDecomposition(root="p")
+        htd.add_node("p", bag={"b", "c"}, cover={"e2"})
+        htd.add_node("q", bag={"a", "b"}, cover={"e1"})
+        htd.add_tree_edge("p", "q")
+        return h, htd
+
+    def test_valid_fixture_certifies_clean(self):
+        h, htd = self._fixture()
+        assert check_htd(htd, h) == []
+        assert htd.violations(h) == []
+
+    def test_descendant_condition_violation_rejected(self):
+        # Grow the root's λ by e1: vars(λ(p)) gains 'a', which occurs in
+        # the subtree below p but not in p's bag — the exact condition 4
+        # of Gottlob–Leone–Scarcello.  Everything else stays intact, so
+        # the GHD checker must still be happy.
+        h, htd = self._fixture()
+        htd.set_cover("p", {"e1", "e2"})
+        assert check_ghd(htd, h) == []
+        problems = check_htd(htd, h)
+        assert [p.kind for p in problems] == [DESCENDANT_CONDITION]
+        assert problems[0].nodes == ("p",)
+        assert problems[0].vertices == ("a",)
+        assert htd.violations(h) == [p.message for p in problems]
+
+    def test_random_constructed_htds_certify_clean(self):
+        for seed in range(10):
+            h = _random_hyper(seed)
+            htd = htd_from_ordering(h, min_fill_ordering(h))
+            assert check_htd(htd, h) == []
+
+    def test_dispatch_picks_strictest_checker(self):
+        h, htd = self._fixture()
+        htd.set_cover("p", {"e1", "e2"})
+        # As an HTD the descendant leak is caught; the same object
+        # checked as a plain GHD would pass (see above).
+        kinds = [p.kind for p in check_decomposition(htd, h)]
+        assert kinds == [DESCENDANT_CONDITION]
