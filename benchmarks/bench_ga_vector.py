@@ -1,0 +1,153 @@
+"""Vector population kernel vs the incremental GA-ghw evaluator.
+
+Both arms run the same GA-ghw configuration on the Table 7.1 instances:
+
+* **incremental** — the PR-4 baseline, ``ga_ghw(vector=False,
+  incremental=True)``: the :class:`~repro.genetic.ga_ghw.PrefixGhwEvaluator`
+  scoring one individual at a time with shared elimination prefixes.
+* **vector** — ``ga_ghw(vector=True)``: the numpy
+  :class:`~repro.vector.kernel.VectorGhwEvaluator` evaluating each
+  generation as one population x vertex tensor batch (local-coordinate
+  elimination, batched greedy covers through the same
+  :class:`~repro.setcover.bitcover.CoverCache`).
+
+Every run pair is asserted **bit-identical** — best fitness, best
+ordering, per-generation history and evaluation counts — so the speedup
+is a pure kernel ratio, never a search-quality trade.
+
+Acceptance: median evals/sec ratio >= 3x, enforced at
+``REPRO_BENCH_SCALE >= 0.25``; starved budgets (the CI smoke at 0.05)
+still assert bit-identity on every instance but report the timing only.
+Results (with the numpy version, git SHA and seed stamped) go to
+``benchmarks/results/ga_vector.{txt,json}``.  Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_ga_vector.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+import time
+
+from repro.genetic import GAParameters, ga_ghw
+from repro.instances import get_instance
+from repro.vector import numpy_available
+
+from _harness import METRICS, bench_seed, report, scale
+
+SPEEDUP_TARGET = 3.0
+
+BENCH_INSTANCES = [
+    "adder_75", "b06", "b08", "b09", "b10",
+    "bridge_50", "c499", "clique_20", "grid2d_20", "grid3d_8",
+]
+
+
+def _numpy_version() -> str | None:
+    if not numpy_available():
+        return None
+    import numpy
+
+    return numpy.__version__
+
+
+def run_vector_benchmark() -> tuple[list[list], dict]:
+    if not numpy_available():
+        # The no-numpy CI leg: nothing to race, nothing to gate.
+        return [], {
+            "numpy_version": None,
+            "median_evals_ratio": None,
+            "speedup_target": SPEEDUP_TARGET,
+            "gate_enforced": False,
+        }
+    pop, gens = (24, 20) if scale() >= 0.25 else (12, 6)
+    params = GAParameters(population_size=pop, generations=gens)
+    seed = bench_seed() + 7
+    rows: list[list] = []
+    ratios: list[float] = []
+    for name in BENCH_INSTANCES:
+        hypergraph = get_instance(name).build()
+
+        start = time.perf_counter()
+        baseline = ga_ghw(
+            hypergraph, parameters=params, rng=random.Random(seed),
+            rescore_exact=False, vector=False, incremental=True,
+        )
+        t_inc = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vector = ga_ghw(
+            hypergraph, parameters=params, rng=random.Random(seed),
+            rescore_exact=False, vector=True, metrics=METRICS,
+        )
+        t_vec = time.perf_counter() - start
+
+        # Bit-identity: the ratio below is a pure kernel speedup.
+        assert vector.best_fitness == baseline.best_fitness, name
+        assert vector.best_individual == baseline.best_individual, name
+        assert vector.history == baseline.history, name
+        assert vector.evaluations == baseline.evaluations, name
+
+        eps_inc = baseline.evaluations / t_inc if t_inc > 0 else 0.0
+        eps_vec = vector.evaluations / t_vec if t_vec > 0 else 0.0
+        ratio = eps_vec / eps_inc if eps_inc > 0 else float("inf")
+        ratios.append(ratio)
+        rows.append([
+            name, int(vector.best_fitness), vector.evaluations,
+            eps_inc, eps_vec, ratio,
+        ])
+        METRICS.histogram("vector.evals_per_second").observe(eps_vec)
+
+    extra = {
+        "numpy_version": _numpy_version(),
+        "median_evals_ratio": statistics.median(ratios),
+        "speedup_target": SPEEDUP_TARGET,
+        "ga_population": pop,
+        "ga_generations": gens,
+        "seed": seed,
+        "gate_enforced": scale() >= 0.25,
+    }
+    return rows, extra
+
+
+def _report(rows: list[list], extra: dict) -> None:
+    report(
+        "ga_vector",
+        "GA-ghw — incremental evaluator vs numpy population kernel",
+        ["hypergraph", "ghw<=", "evals", "inc evals/s", "vec evals/s",
+         "ratio"],
+        rows,
+        extra=extra,
+    )
+    if extra["median_evals_ratio"] is None:
+        print("numpy unavailable; vector benchmark skipped")
+        return
+    gate = "enforced" if extra["gate_enforced"] else "report-only at this scale"
+    print(
+        f"median evals/sec ratio: {extra['median_evals_ratio']:.2f}x "
+        f"(target >= {SPEEDUP_TARGET:.0f}x, {gate}; "
+        f"numpy {extra['numpy_version']})"
+    )
+
+
+def _gate_ok(extra: dict) -> bool:
+    if not extra["gate_enforced"] or extra["median_evals_ratio"] is None:
+        return True
+    return extra["median_evals_ratio"] >= SPEEDUP_TARGET
+
+
+def test_vector_speedup(benchmark):
+    rows, extra = benchmark.pedantic(
+        run_vector_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, extra)
+    if extra["gate_enforced"] and extra["median_evals_ratio"] is not None:
+        assert extra["median_evals_ratio"] >= SPEEDUP_TARGET
+
+
+if __name__ == "__main__":
+    bench_rows, bench_extra = run_vector_benchmark()
+    _report(bench_rows, bench_extra)
+    sys.exit(0 if _gate_ok(bench_extra) else 1)

@@ -89,6 +89,7 @@ def cmd_tw(args: argparse.Namespace) -> int:
                 rng=random.Random(args.seed),
                 max_seconds=args.budget,
                 hooks=BoundHooks(tracer=tracer),
+                vector=False if args.no_vector else None,
             )
             print(f"treewidth <= {result.best_fitness} "
                   f"(GA-tw, {result.evaluations} evaluations)")
@@ -111,12 +112,13 @@ def cmd_tw(args: argparse.Namespace) -> int:
 
 
 def _print_cover_metrics(metrics: Metrics) -> None:
-    """One line per non-zero cover-engine / GA-prefix counter."""
+    """One line per non-zero cover / GA / vector-kernel counter."""
     counters = metrics.snapshot()["counters"]
+    prefixes = ("cover.", "ga.", "vector.", "cache.")
     interesting = {
         name: value
         for name, value in counters.items()
-        if value and (name.startswith("cover.") or name.startswith("ga."))
+        if value and name.startswith(prefixes)
     }
     for name, value in sorted(interesting.items()):
         print(f"  {name}: {value}")
@@ -137,6 +139,7 @@ def cmd_ghw(args: argparse.Namespace) -> int:
                 max_seconds=args.budget,
                 hooks=BoundHooks(tracer=tracer),
                 metrics=metrics,
+                vector=False if args.no_vector else None,
             )
             print(f"ghw <= {result.best_fitness} "
                   f"(GA-ghw, {result.evaluations} evaluations)")
@@ -359,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time budget in seconds (default 30)")
         p.add_argument("--ga", action="store_true",
                        help="use the genetic algorithm (upper bound only)")
+        p.add_argument("--no-vector", action="store_true",
+                       help="disable the numpy population kernel for --ga "
+                       "(pure-python evaluation; same fitness values)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--trace", metavar="FILE", default=None,
                        help="write a JSONL telemetry trace of the run")

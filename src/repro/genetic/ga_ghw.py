@@ -163,11 +163,34 @@ class PrefixGhwEvaluator:
         self._present = present
         return width
 
-    def evaluate_population(self, population: list[list]) -> list[int]:
+    def evaluate_population(
+        self, population: list[list], rng: "random.Random | None" = None
+    ) -> list[int]:
         """Fitnesses of a whole generation, scored in prefix-friendly
-        order, reported in the population's order."""
+        order, reported in the population's order.
+
+        ``rng`` (the engine's forked tie-break stream) shuffles runs of
+        *identical* individuals — the only ties lexicographic ordering
+        leaves open.  Duplicates share their entire prefix, so fitness
+        values cannot depend on the shuffle; accepting the stream keeps
+        this path's rng contract aligned with the vector kernel's.
+        """
         as_bits = [self.order_bits(ind) for ind in population]
         order = sorted(range(len(population)), key=as_bits.__getitem__)
+        if rng is not None:
+            start = 0
+            while start < len(order):
+                stop = start + 1
+                while (
+                    stop < len(order)
+                    and as_bits[order[stop]] == as_bits[order[start]]
+                ):
+                    stop += 1
+                if stop - start > 1:
+                    run = order[start:stop]
+                    rng.shuffle(run)
+                    order[start:stop] = run
+                start = stop
         fitnesses = [0] * len(population)
         for i in order:
             fitnesses[i] = self._fitness_bits(as_bits[i])
@@ -184,6 +207,9 @@ def ga_ghw(
     hooks: "BoundHooks | None" = None,
     incremental: bool = True,
     metrics: Metrics | None = None,
+    vector: bool | None = None,
+    engine: BitCoverEngine | None = None,
+    seed_individuals: list | None = None,
 ) -> GAResult:
     """Run GA-ghw; ``result.best_fitness`` is a ghw upper bound and
     ``result.best_individual`` the witnessing ordering.
@@ -206,6 +232,18 @@ def ga_ghw(
     keeps the per-individual reference path (the benchmark's baseline
     arm).  ``metrics`` receives the cover-cache and prefix-reuse
     counters of the incremental path.
+
+    ``vector`` selects the numpy population kernel
+    (:class:`~repro.vector.kernel.VectorGhwEvaluator`, bit-identical
+    fitness values again): ``None`` auto-enables it when numpy is
+    importable, ``True`` requests it (falling back with a one-time
+    :class:`~repro.vector.VectorKernelUnavailable` warning), ``False``
+    forces the pure-python paths.  ``engine`` shares a live
+    :class:`BitCoverEngine` (and its cover cache) with the caller —
+    the incremental re-solve API passes its edited engine here.
+    ``seed_individuals`` injects explicit orderings into the initial
+    population (e.g. the previous decomposition's repaired ordering),
+    on top of ``seed_with_heuristics``.
     """
     isolated = hypergraph.isolated_vertices()
     if isolated:
@@ -219,17 +257,31 @@ def ga_ghw(
     if not vertices or hypergraph.num_edges == 0:
         return GAResult(0, list(vertices), 0, 0, [0])
 
-    seeds = None
+    seeds = [list(seed) for seed in seed_individuals or []]
     if seed_with_heuristics:
         from ..bounds.upper import min_degree_ordering, min_fill_ordering
 
-        seeds = [
+        seeds += [
             min_fill_ordering(hypergraph),
             min_degree_ordering(hypergraph),
         ]
+    seeds = seeds or None
 
-    if incremental:
-        prefix_evaluator = PrefixGhwEvaluator(hypergraph, metrics=metrics)
+    from .. import vector as vector_mod
+
+    if vector_mod.resolve_vector(vector, "GA-ghw"):
+        from ..vector.kernel import VectorGhwEvaluator
+
+        tracer = hooks.tracer if hooks is not None else None
+        vector_evaluator = VectorGhwEvaluator(
+            hypergraph, engine=engine, metrics=metrics, tracer=tracer
+        )
+        fitness = vector_evaluator.fitness
+        fitness_batch = vector_evaluator.fitness_batch
+    elif incremental:
+        prefix_evaluator = PrefixGhwEvaluator(
+            hypergraph, engine=engine, metrics=metrics
+        )
         fitness = prefix_evaluator.fitness
         fitness_batch = prefix_evaluator.evaluate_population
     else:

@@ -20,6 +20,7 @@ from ..decomposition.elimination import OrderingEvaluator
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
 from ..search.common import BoundHooks
+from ..telemetry import Metrics
 from .engine import GAParameters, GAResult, run_permutation_ga
 
 
@@ -30,6 +31,9 @@ def ga_treewidth(
     max_seconds: float | None = None,
     seed_with_heuristics: bool = False,
     hooks: "BoundHooks | None" = None,
+    metrics: Metrics | None = None,
+    vector: bool | None = None,
+    seed_individuals: list | None = None,
 ) -> GAResult:
     """Run GA-tw; ``result.best_fitness`` is a treewidth upper bound and
     ``result.best_individual`` the witnessing elimination ordering.
@@ -37,10 +41,18 @@ def ga_treewidth(
     ``seed_with_heuristics`` injects the min-fill / min-degree orderings
     into the initial population (an extension beyond the thesis' fully
     random initialization; useful in practice, off by default for
-    fidelity).  ``hooks`` (see :class:`repro.search.BoundHooks`) plugs
+    fidelity); ``seed_individuals`` injects explicit orderings on top.
+    ``hooks`` (see :class:`repro.search.BoundHooks`) plugs
     the run into the portfolio's shared incumbent channel: best-fitness
     improvements are published as treewidth upper bounds, and the run
     stops once an external lower bound proves the best fitness optimal.
+
+    ``vector`` selects the numpy population kernel
+    (:class:`~repro.vector.kernel.VectorTwEvaluator` — widths identical
+    to :meth:`OrderingEvaluator.width` bit for bit): ``None`` auto-uses
+    it when numpy is importable, ``True`` requests it (one-time warning
+    plus fallback when it is not), ``False`` forces the pure-python
+    evaluator.  ``metrics`` receives the ``vector.*`` batch counters.
     """
     graph = (
         structure.primal_graph()
@@ -53,19 +65,34 @@ def ga_treewidth(
     if len(vertices) == 0:
         return GAResult(0, [], 0, 0, [0])
 
-    seeds = None
+    seeds = [list(seed) for seed in seed_individuals or []]
     if seed_with_heuristics:
         from ..bounds.upper import min_degree_ordering, min_fill_ordering
 
-        seeds = [min_fill_ordering(graph), min_degree_ordering(graph)]
+        seeds += [min_fill_ordering(graph), min_degree_ordering(graph)]
+    seeds = seeds or None
 
+    from .. import vector as vector_mod
+
+    fitness_batch = None
     evaluator = OrderingEvaluator(graph)
+    fitness = evaluator.width
+    if vector_mod.resolve_vector(vector, "GA-tw"):
+        from ..vector.kernel import VectorTwEvaluator
+
+        tracer = hooks.tracer if hooks is not None else None
+        vector_evaluator = VectorTwEvaluator(
+            graph, metrics=metrics, tracer=tracer
+        )
+        fitness = vector_evaluator.fitness
+        fitness_batch = vector_evaluator.fitness_batch
     return run_permutation_ga(
         elements=vertices,
-        fitness=evaluator.width,
+        fitness=fitness,
         parameters=params,
         rng=generator,
         max_seconds=max_seconds,
         seed_individuals=seeds,
         hooks=hooks,
+        fitness_batch=fitness_batch,
     )

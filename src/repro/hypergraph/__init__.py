@@ -17,7 +17,12 @@ Public surface:
 from .acyclicity import gyo_reduction, is_alpha_acyclic
 from .bitgraph import BitGraph, as_bitgraph
 from .graph import EliminationRecord, Graph, GraphError, Vertex
-from .hypergraph import Hypergraph, HypergraphError, IncidenceIndex
+from .hypergraph import (
+    EditTicket,
+    Hypergraph,
+    HypergraphError,
+    IncidenceIndex,
+)
 from .io import (
     DuplicateEdgeWarning,
     FormatError,
@@ -33,6 +38,7 @@ from .io import (
 __all__ = [
     "BitGraph",
     "DuplicateEdgeWarning",
+    "EditTicket",
     "EliminationRecord",
     "FormatError",
     "Graph",

@@ -21,6 +21,47 @@ class HypergraphError(Exception):
     """Raised on invalid hypergraph operations."""
 
 
+class EditTicket(str):
+    """Receipt for one hyperedge edit, the currency of the incremental
+    re-solve API.
+
+    A ticket records what changed — ``kind`` (``"add"``/``"remove"``),
+    the edge ``name``, the member ``members`` and the hypergraph's
+    ``revision`` after the edit — which is exactly what incremental
+    consumers need: :meth:`~repro.setcover.bitcover.BitCoverEngine.apply_edit`
+    invalidates only the cover-cache entries intersecting ``members``,
+    and :class:`~repro.portfolio.incremental.IncrementalSolver` repairs
+    the previous decomposition instead of recomputing it.
+
+    Tickets subclass :class:`str` (the string value is the edge name),
+    so historical callers that used :meth:`Hypergraph.add_edge`'s
+    returned name — as a dict key, in comparisons — keep working
+    unchanged.  Non-string edge names are carried in ``name``; the
+    string value is then their ``repr``.
+    """
+
+    kind: str
+    name: Hashable
+    members: frozenset
+    revision: int
+
+    def __new__(
+        cls,
+        name: Hashable,
+        kind: str,
+        members: Iterable[Vertex],
+        revision: int,
+    ) -> "EditTicket":
+        ticket = str.__new__(
+            cls, name if isinstance(name, str) else repr(name)
+        )
+        ticket.kind = kind
+        ticket.name = name
+        ticket.members = frozenset(members)
+        ticket.revision = revision
+        return ticket
+
+
 @dataclass(frozen=True)
 class IncidenceIndex:
     """Interned bitmask view of a hypergraph's incidence structure.
@@ -76,7 +117,7 @@ class Hypergraph:
         ['e1', 'e2']
     """
 
-    __slots__ = ("_vertices", "_edges", "_incidence", "_index_cache")
+    __slots__ = ("_vertices", "_edges", "_incidence", "_index_cache", "_rev")
 
     def __init__(
         self,
@@ -87,6 +128,7 @@ class Hypergraph:
         self._edges: dict[Hashable, frozenset] = {}
         self._incidence: dict[Vertex, set] = {}  # vertex -> edge names
         self._index_cache: IncidenceIndex | None = None  # lazy bitmask view
+        self._rev = 0  # bumped by every mutation (see ``revision``)
         for v in vertices:
             self.add_vertex(v)
         if edges:
@@ -119,6 +161,7 @@ class Hypergraph:
         clone._vertices = dict(self._vertices)
         clone._edges = dict(self._edges)
         clone._incidence = {v: set(names) for v, names in self._incidence.items()}
+        clone._rev = self._rev
         return clone
 
     # ------------------------------------------------------------------
@@ -128,14 +171,15 @@ class Hypergraph:
     def add_vertex(self, vertex: Vertex) -> None:
         if vertex not in self._vertices:
             self._index_cache = None
+            self._rev += 1
         self._vertices.setdefault(vertex, None)
         self._incidence.setdefault(vertex, set())
 
     def add_edge(
         self, members: Iterable[Vertex], name: Hashable | None = None
-    ) -> Hashable:
-        """Add a hyperedge over ``members``; returns the edge name."""
-        self._index_cache = None
+    ) -> EditTicket:
+        """Add a hyperedge over ``members``; returns an
+        :class:`EditTicket` (str-compatible with the edge name)."""
         edge = frozenset(members)
         if not edge:
             raise HypergraphError("empty hyperedges are not allowed")
@@ -145,20 +189,26 @@ class Hypergraph:
                 name = f"{name}_"
         if name in self._edges:
             raise HypergraphError(f"duplicate hyperedge name: {name!r}")
+        self._index_cache = None
+        self._rev += 1
         self._edges[name] = edge
         for v in edge:
             self.add_vertex(v)
             self._incidence[v].add(name)
-        return name
+        return EditTicket(name, "add", edge, self._rev)
 
-    def remove_edge(self, name: Hashable) -> None:
+    def remove_edge(self, name: Hashable) -> EditTicket:
+        """Remove a hyperedge; returns an :class:`EditTicket` recording
+        the removed members (the invalidation footprint)."""
         try:
             edge = self._edges.pop(name)
         except KeyError:
             raise HypergraphError(f"unknown hyperedge: {name!r}") from None
         self._index_cache = None
+        self._rev += 1
         for v in edge:
             self._incidence[v].discard(name)
+        return EditTicket(name, "remove", edge, self._rev)
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` from the vertex set and from every hyperedge.
@@ -168,6 +218,7 @@ class Hypergraph:
         if vertex not in self._vertices:
             raise HypergraphError(f"unknown vertex: {vertex!r}")
         self._index_cache = None
+        self._rev += 1
         for name in list(self._incidence[vertex]):
             shrunk = self._edges[name] - {vertex}
             if shrunk:
@@ -181,6 +232,14 @@ class Hypergraph:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter: any structural change bumps it.
+
+        Incremental consumers use it to detect stale warm-start state
+        (a ticket's ``revision`` names the state it produced)."""
+        return self._rev
 
     @property
     def vertices(self) -> set:

@@ -14,6 +14,11 @@ from .backends import (
     BackendSpec,
     resolve_backends,
 )
+from .incremental import (
+    IncrementalResult,
+    IncrementalSolveError,
+    IncrementalSolver,
+)
 from .runner import PortfolioError, PortfolioResult, run_portfolio
 from .shared import BoundEvent, EventRecorder, SharedBounds, make_worker_hooks
 
@@ -25,6 +30,9 @@ __all__ = [
     "BackendSpec",
     "BoundEvent",
     "EventRecorder",
+    "IncrementalResult",
+    "IncrementalSolveError",
+    "IncrementalSolver",
     "PortfolioError",
     "PortfolioResult",
     "SharedBounds",

@@ -48,6 +48,13 @@ class BackendConfig:
     a worker's outcome depends only on its seed.  ``trace`` turns on the
     worker-local telemetry tracer (a bool, not a tracer object — the
     config crosses the process boundary).
+
+    ``initial_upper`` / ``initial_lower`` / ``warm_ordering`` are the
+    warm-start seam of the incremental re-solve API: the caller asserts
+    a witnessed upper bound (``warm_ordering`` is its certificate) and a
+    proven lower bound, the searches start with that incumbent, and the
+    GAs inject the ordering into their initial population.  Soundness is
+    the caller's contract — the runner never invents these.
     """
 
     max_seconds: float | None = None
@@ -58,6 +65,9 @@ class BackendConfig:
     ga_generations: int = 120
     poll_interval: int = 64
     trace: bool = False
+    initial_upper: int | None = None
+    initial_lower: int | None = None
+    warm_ordering: list | None = None
 
 
 @dataclass
@@ -124,6 +134,13 @@ def _ga_parameters(config: BackendConfig) -> GAParameters:
     )
 
 
+def _warm_seeds(config: BackendConfig) -> list | None:
+    """The warm-start ordering as a GA seed population (or None)."""
+    if config.warm_ordering is None:
+        return None
+    return [list(config.warm_ordering)]
+
+
 def _as_hypergraph(structure: Graph | Hypergraph) -> Hypergraph:
     if isinstance(structure, Hypergraph):
         return structure
@@ -158,6 +175,7 @@ def _run_ga_tw(structure, config: BackendConfig, hooks: BoundHooks):
         rng=random.Random(config.seed),
         max_seconds=None if config.deterministic else config.max_seconds,
         hooks=hooks,
+        seed_individuals=_warm_seeds(config),
     )
     return _ga_report("ga-tw", result)
 
@@ -218,6 +236,7 @@ def _run_ga_ghw(structure, config: BackendConfig, hooks: BoundHooks):
         rng=random.Random(config.seed),
         max_seconds=None if config.deterministic else config.max_seconds,
         hooks=hooks,
+        seed_individuals=_warm_seeds(config),
     )
     return _ga_report("ga-ghw", result)
 

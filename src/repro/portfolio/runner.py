@@ -95,7 +95,9 @@ def _worker_main(name, structure, config, shared, report_queue, t0):
     )
     recorder = EventRecorder(name, t0)
     hooks = make_worker_hooks(
-        shared, recorder, config.poll_interval, tracer=tracer
+        shared, recorder, config.poll_interval, tracer=tracer,
+        initial_upper=config.initial_upper,
+        initial_lower=config.initial_lower,
     )
     start = time.monotonic()
     try:
@@ -126,6 +128,9 @@ def run_portfolio(
     ga_generations: int = 120,
     poll_interval: int = 64,
     trace: str | None = None,
+    initial_upper: int | None = None,
+    initial_lower: int | None = None,
+    warm_ordering: list | None = None,
 ) -> PortfolioResult:
     """Race solver backends on ``structure`` and merge their bounds.
 
@@ -135,6 +140,14 @@ def run_portfolio(
     handle both).  ``backends`` defaults to the full backend set for the
     metric; with fewer ``jobs`` than backends the surplus runs in later
     waves, seeded by the earlier waves' bounds.
+
+    ``initial_upper`` / ``initial_lower`` / ``warm_ordering`` warm-start
+    the race (the incremental re-solve path): the upper bound pre-seeds
+    the shared channel (static poll answers in deterministic mode), the
+    GAs add ``warm_ordering`` to their initial populations, and the
+    lower bound joins the aggregation.  The caller asserts soundness:
+    ``initial_upper`` must be witnessed (by ``warm_ordering``) and
+    ``initial_lower`` proven for the *current* structure.
 
     ``trace`` (a file path) turns on telemetry: every worker traces into
     a local buffer, the parent traces scheduling, and the merged
@@ -160,10 +173,18 @@ def run_portfolio(
         ga_generations=ga_generations,
         poll_interval=poll_interval,
         trace=trace is not None,
+        initial_upper=initial_upper,
+        initial_lower=initial_lower,
+        warm_ordering=list(warm_ordering) if warm_ordering else None,
     )
 
     ctx = multiprocessing.get_context()
     shared = None if deterministic else SharedBounds(ctx)
+    if shared is not None:
+        if initial_upper is not None:
+            shared.propose_upper(initial_upper)
+        if initial_lower is not None:
+            shared.propose_lower(initial_lower)
     report_queue = ctx.Queue()
     t0 = time.monotonic()
     tracer = (
@@ -274,7 +295,8 @@ def run_portfolio(
 
     ordered = [reports[spec.name] for spec in specs]
     result = _aggregate(
-        metric, ordered, time.monotonic() - t0, jobs, deterministic
+        metric, ordered, time.monotonic() - t0, jobs, deterministic,
+        initial_lower=initial_lower,
     )
     if trace is not None:
         # One timeline: the parent's scheduling records plus every
@@ -295,12 +317,14 @@ def _aggregate(
     elapsed: float,
     jobs: int,
     deterministic: bool,
+    initial_lower: int | None = None,
 ) -> PortfolioResult:
     """Merge the per-backend reports into the portfolio result.
 
     Ties on the upper bound go to the earlier backend in the requested
     order (``min`` is stable), which together with fixed seeds makes the
-    deterministic mode's winner reproducible.
+    deterministic mode's winner reproducible.  ``initial_lower`` (a
+    caller-proven warm-start bound) joins the lower-bound merge.
     """
     candidates = [
         report
@@ -322,6 +346,8 @@ def _aggregate(
         ),
         default=0,
     )
+    if initial_lower is not None:
+        lower = max(lower, initial_lower)
     lower = min(lower, best.upper_bound)
 
     order_index = {report.backend: i for i, report in enumerate(ordered)}

@@ -109,12 +109,19 @@ def make_worker_hooks(
     recorder: EventRecorder,
     poll_interval: int = 64,
     tracer=NULL_TRACER,
+    initial_upper: int | None = None,
+    initial_lower: int | None = None,
 ) -> BoundHooks:
     """Build the :class:`BoundHooks` a worker hands to its solver.
 
     With ``shared=None`` (deterministic mode) the hooks only record the
     worker's own bound stream — no cross-worker exchange — so the run's
     outcome depends on nothing but the worker's seed.
+    ``initial_upper`` / ``initial_lower`` (the warm-start seam) are then
+    served as *static* poll answers: the solver prunes against the
+    caller-witnessed incumbent from node one, and determinism survives
+    because the answers are constants of the config.  In shared mode the
+    runner seeds the channel itself before workers start.
 
     ``tracer`` rides along on the hooks (the solvers' telemetry seam);
     every proposal that actually tightens the shared channel is
@@ -125,6 +132,14 @@ def make_worker_hooks(
     tracing = bool(getattr(tracer, "enabled", False))
     if shared is None:
         return BoundHooks(
+            poll_upper=(
+                None if initial_upper is None
+                else lambda: initial_upper
+            ),
+            poll_lower=(
+                None if initial_lower is None
+                else lambda: initial_lower
+            ),
             publish_upper=lambda v: recorder.record("ub", v),
             publish_lower=lambda v: recorder.record("lb", v),
             poll_interval=poll_interval,

@@ -80,6 +80,7 @@ class CoverCache:
         "c_exact_hit", "c_exact_dominance", "c_exact_computed",
         "c_upper_hit", "c_upper_dominance", "c_upper_computed",
         "c_greedy_hit", "c_greedy_computed", "c_seeded",
+        "c_inv_calls", "c_inv_exact", "c_inv_greedy", "c_inv_cover",
     )
 
     def __init__(self, metrics: Metrics | None = None):
@@ -99,6 +100,10 @@ class CoverCache:
         self.c_greedy_hit = registry.counter("cover.greedy.hit")
         self.c_greedy_computed = registry.counter("cover.greedy.computed")
         self.c_seeded = registry.counter("cover.upper.seeded_from_exact")
+        self.c_inv_calls = registry.counter("cache.invalidate.calls")
+        self.c_inv_exact = registry.counter("cache.invalidate.exact")
+        self.c_inv_greedy = registry.counter("cache.invalidate.greedy")
+        self.c_inv_cover = registry.counter("cache.invalidate.cover")
 
     # -- stores ---------------------------------------------------------
 
@@ -122,6 +127,45 @@ class CoverCache:
         if known is None or size < known:
             self.cover[mask] = size
             _insort(self._cover_by_size, (size, mask))
+
+    # -- targeted invalidation (the incremental re-solve API) -----------
+
+    def invalidate_intersecting(self, touched_mask: int) -> int:
+        """Drop every cached bag that intersects ``touched_mask`` (the
+        member vertices of an edited hyperedge); returns the number of
+        entries dropped.
+
+        Disjoint entries are provably unaffected by the edit and stay:
+
+        * *greedy/exact* — every candidate (and every useful cover edge)
+          of a bag intersects the bag, so a bag disjoint from the edited
+          edge never saw it and never will;
+        * *cover* — a recorded size-``s`` cover of bag ``Q`` restricts
+          to the sub-cover of edges intersecting ``Q`` (zero-gain edges
+          are redundant), all of which survive an edit disjoint from
+          ``Q``, so the recorded size stays a valid upper bound.
+        """
+        self.c_inv_calls.inc()
+        dropped = 0
+        for layer, counter in (
+            (self.exact, self.c_inv_exact),
+            (self.greedy, self.c_inv_greedy),
+            (self.cover, self.c_inv_cover),
+        ):
+            stale = [mask for mask in layer if mask & touched_mask]
+            for mask in stale:
+                del layer[mask]
+            counter.inc(len(stale))
+            dropped += len(stale)
+        self._exact_by_size = [
+            entry for entry in self._exact_by_size
+            if not entry[1] & touched_mask
+        ]
+        self._cover_by_size = [
+            entry for entry in self._cover_by_size
+            if not entry[1] & touched_mask
+        ]
+        return dropped
 
     # -- dominance scans ------------------------------------------------
 
@@ -171,9 +215,11 @@ class BitCoverEngine:
 
     The engine is built once per search / GA run (it snapshots the
     hypergraph's incidence index, so the hypergraph must not mutate while
-    the engine is live) and answers every bag-cover question the run
-    asks.  Pass a shared :class:`~repro.telemetry.metrics.Metrics`
-    registry to export the cache counters.
+    the engine is live — except through :meth:`apply_edit`, which replays
+    an ``EditTicket`` into the snapshot and invalidates only the touched
+    cache entries) and answers every bag-cover question the run asks.
+    Pass a shared :class:`~repro.telemetry.metrics.Metrics` registry to
+    export the cache counters.
     """
 
     def __init__(self, hypergraph: Hypergraph, metrics: Metrics | None = None):
@@ -208,6 +254,68 @@ class BitCoverEngine:
             (m.bit_count() for m in self.edge_masks), default=1
         )
         self.cache = CoverCache(metrics)
+
+    # ------------------------------------------------------------------
+    # Incremental edits (the EditTicket consumer)
+    # ------------------------------------------------------------------
+
+    def apply_edit(self, ticket) -> int:
+        """Apply one hyperedge edit in place; returns the number of
+        cache entries invalidated.
+
+        ``ticket`` is the :class:`~repro.hypergraph.hypergraph.EditTicket`
+        returned by ``Hypergraph.add_edge``/``remove_edge`` — the
+        hypergraph referenced by this engine must already contain the
+        edit.  The engine's tables are updated to match a fresh build of
+        the edited hypergraph exactly (vertex bits follow the
+        hypergraph's insertion order, edge ranks are recomputed), and
+        only the cover-cache entries intersecting the edited edge's
+        members are dropped (see
+        :meth:`CoverCache.invalidate_intersecting`); everything else —
+        interning, memoized covers of untouched bags — survives.
+        """
+        # Intern vertices the edit introduced, in hypergraph insertion
+        # order so the numbering matches a from-scratch engine.
+        for v in self.hypergraph.vertex_list()[len(self.vertex_labels):]:
+            self.vertex_bit[v] = len(self.vertex_labels)
+            self.vertex_labels.append(v)
+            self.vertex_edges.append(0)
+        touched = 0
+        for v in ticket.members:
+            bit = self.vertex_bit.get(v)
+            if bit is not None:
+                touched |= 1 << bit
+        if ticket.kind == "add":
+            self.edge_names.append(ticket.name)
+            self.edge_masks.append(touched)
+        elif ticket.kind == "remove":
+            position = self.edge_names.index(ticket.name)
+            del self.edge_names[position]
+            del self.edge_masks[position]
+        else:
+            raise ValueError(f"unknown edit kind {ticket.kind!r}")
+        # Edge-space tables are small (O(m) ints): rebuild rather than
+        # patch.  Relative repr ranks of surviving edges are preserved,
+        # so memoized greedy picks for untouched bags stay valid.
+        by_repr = sorted(
+            range(len(self.edge_names)),
+            key=lambda i: repr(self.edge_names[i]),
+        )
+        self.edge_order = [0] * len(self.edge_names)
+        for rank, i in enumerate(by_repr):
+            self.edge_order[i] = rank
+        self.vertex_edges = [0] * len(self.vertex_labels)
+        for i, mask in enumerate(self.edge_masks):
+            bit = 1 << i
+            m = mask
+            while m:
+                low = m & -m
+                m ^= low
+                self.vertex_edges[low.bit_length() - 1] |= bit
+        self.max_edge_size = max(
+            (m.bit_count() for m in self.edge_masks), default=1
+        )
+        return self.cache.invalidate_intersecting(touched)
 
     # ------------------------------------------------------------------
     # Interning helpers

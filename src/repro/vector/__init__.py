@@ -1,0 +1,94 @@
+"""Optional numpy-backed population kernel for the genetic algorithms.
+
+The GA experiments (Tables 6.x / 7.x) are bounded by fitness evaluations
+per second.  This package evaluates a whole GA generation as array
+batches: a population x vertex permutation tensor plus adjacency-mask
+matrices, eliminated step-by-step with array operations instead of one
+python loop per individual (see :mod:`.kernel`).
+
+numpy is an *optional* dependency (``pip install repro[vector]``).  This
+module is the import guard: everything else in the package may assume
+numpy exists, while callers route through :func:`resolve_vector` /
+:func:`numpy_available` and fall back to the pure-python evaluators
+(:class:`~repro.genetic.ga_ghw.PrefixGhwEvaluator`, the bitmask
+:class:`~repro.decomposition.elimination.OrderingEvaluator`) when it does
+not.  The fallback is announced once per process with a
+:class:`VectorKernelUnavailable` warning — quiet enough for libraries,
+loud enough that a benchmark run cannot silently lose its kernel.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class VectorKernelUnavailable(RuntimeWarning):
+    """numpy is not importable; the vector kernel falls back to the
+    pure-python evaluators (same values, slower)."""
+
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+_warned = False
+
+
+def numpy_available() -> bool:
+    """True when the vector kernel can run in this process."""
+    return _numpy is not None
+
+
+def warn_unavailable(context: str) -> None:
+    """Emit the one-time :class:`VectorKernelUnavailable` warning."""
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        f"numpy is not installed; {context} falls back to the pure-python "
+        "evaluator (install the 'vector' extra for the array kernel)",
+        VectorKernelUnavailable,
+        stacklevel=3,
+    )
+
+
+def resolve_vector(requested: bool | None, context: str) -> bool:
+    """Decide whether a caller gets the vector path.
+
+    ``requested`` is the tri-state knob the GA entry points expose:
+    ``None`` (auto: vector when numpy is importable), ``True`` (vector
+    wanted — warn and fall back when numpy is missing) and ``False``
+    (never).  The warning fires once per process.
+    """
+    if requested is False:
+        return False
+    if numpy_available():
+        return True
+    warn_unavailable(context)
+    return False
+
+
+def __getattr__(name: str):
+    # Lazy re-exports so ``import repro.vector`` works without numpy.
+    if name in ("VectorGhwEvaluator", "VectorTwEvaluator"):
+        if _numpy is None:
+            raise ImportError(
+                f"repro.vector.{name} requires numpy "
+                "(pip install repro[vector])"
+            )
+        from . import kernel
+
+        return getattr(kernel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "VectorKernelUnavailable",
+    "VectorGhwEvaluator",
+    "VectorTwEvaluator",
+    "numpy_available",
+    "resolve_vector",
+    "warn_unavailable",
+]

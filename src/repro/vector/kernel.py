@@ -1,0 +1,461 @@
+"""The numpy population kernel: whole GA generations as array batches.
+
+Layout
+------
+
+A generation is a ``population x vertex`` permutation tensor ``perm``
+(``perm[p, i]`` = interned bit of the vertex individual ``p`` eliminates
+at step ``i``).  The structure enters as two mask matrices:
+
+* ``A`` — the ``n x n`` boolean primal adjacency (bit layout identical to
+  :meth:`BitGraph.adjacency_masks`), and
+* ``E`` — the ``m x n`` boolean hyperedge incidence (rows ordered by the
+  cover engine's deterministic tie-break rank, see below).
+
+Eliminating every individual simultaneously uses a *local coordinate*
+trick: gathering ``A[perm[p]][:, perm[p]]`` relabels each individual's
+adjacency into its own elimination order, so step ``i`` eliminates local
+vertex ``i`` for the whole population at once.  ``later`` neighbours are
+then simply the columns ``> i``, and the Fig. 6.2 fill propagation —
+OR the bag into the earliest later neighbour — becomes a row-gather, an
+``argmax`` (first set bit = earliest position) and a masked OR.
+
+GA-tw stops there (width = max later-count).  GA-ghw scatters the local
+bags back to global vertex bits (one bulk ``put_along_axis``), packs
+them to bytes, and covers the *distinct* bags with a batched greedy set
+cover: per round, gains for every still-uncovered bag against every edge
+come from one matmul (scipy CSR for sparse incidence, BLAS sgemm for
+dense), and because the edge rows are pre-sorted by the engine's
+tie-break rank, a plain ``argmax`` picks exactly the edge
+:meth:`BitCoverEngine.greedy_cover` would pick.  Cover sizes flow
+through the engine's strict greedy memo, so values are bit-identical to
+the pure-python paths — the property the GA benchmarks assert.
+
+Two memo layers keep converged populations cheap: a per-ordering fitness
+memo (tournament selection and crossover of identical parents reproduce
+whole individuals verbatim) and a per-bag byte-keyed view of the
+engine's ``cache.greedy``.  Both are capped; see ``_FIT_MEMO_BYTES``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+try:  # scipy is optional on top of numpy: dense BLAS is the fallback.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised where scipy is absent
+    _sparse = None
+
+from ..hypergraph.bitgraph import as_bitgraph
+from ..hypergraph.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+from ..setcover.bitcover import BitCoverEngine
+from ..setcover.greedy import SetCoverError
+from ..telemetry import NULL_TRACER, Metrics
+
+# Incidence denser than this uses the BLAS sgemm path for cover gains;
+# sparser instances go through scipy CSR (when available).
+_SPARSE_DENSITY = 0.25
+
+# Elimination tensors are (chunk, n, n); chunk the population so one
+# batch stays within this element budget (bools, so ~32 MB).
+_ELIM_CHUNK_ELEMS = 32_000_000
+
+# Approximate byte budgets for the two memo layers; when exceeded the
+# memo is cleared (a cheap, rare reset beats per-entry eviction here).
+_FIT_MEMO_BYTES = 48_000_000
+_BAG_MEMO_ENTRIES = 2_000_000
+
+
+def _masks_to_matrix(masks: list[int], width: int) -> "np.ndarray":
+    """Bitmask integers -> boolean matrix, bit ``j`` -> column ``j``."""
+    if not masks:
+        return np.zeros((0, width), dtype=bool)
+    nbytes = max(1, (width + 7) // 8)
+    buffer = b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+    bits = np.unpackbits(
+        np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes),
+        axis=1,
+        bitorder="little",
+    )
+    return bits[:, :width].astype(bool)
+
+
+class _PermutationCodec:
+    """Shared vertex interning + permutation tensor encoding."""
+
+    def __init__(self, index: dict, labels: list):
+        self._index = index
+        self._labels = labels
+        self._vertices = frozenset(labels)
+        self.n = len(labels)
+
+    def encode(self, population: list[list]) -> "np.ndarray":
+        """Population -> (P, n) int32 tensor of interned bit positions."""
+        n = self.n
+        index = self._index
+        for individual in population:
+            if (
+                len(individual) != n
+                or self._vertices.difference(individual)
+            ):
+                raise ValueError(
+                    "individual is not a permutation of the vertices"
+                )
+        flat = np.fromiter(
+            (index[v] for individual in population for v in individual),
+            dtype=np.int32,
+            count=len(population) * n,
+        )
+        return flat.reshape(len(population), n)
+
+
+class VectorTwEvaluator:
+    """Batched GA-tw fitness: ordering widths for a whole generation.
+
+    Values equal :meth:`OrderingEvaluator.width
+    <repro.decomposition.elimination.OrderingEvaluator.width>` exactly
+    (same fill propagation, same early exit once no later bag can exceed
+    the incumbent width of *every* individual).
+    """
+
+    def __init__(
+        self,
+        structure: "Graph | Hypergraph",
+        metrics: Metrics | None = None,
+        tracer=NULL_TRACER,
+    ):
+        index, labels, masks = as_bitgraph(structure).adjacency_masks()
+        self._codec = _PermutationCodec(index, list(labels))
+        self._A = _masks_to_matrix(list(masks), self._codec.n)
+        self._fit_memo: dict[bytes, int] = {}
+        self._fit_memo_cap = _fit_memo_cap(self._codec.n)
+        self._tracer = tracer or NULL_TRACER
+        registry = metrics if metrics is not None else Metrics()
+        self._c_evals = registry.counter("vector.batch_evals")
+        self._c_batches = registry.counter("vector.batches")
+        self._c_memo = registry.counter("vector.memo_hits")
+
+    def fitness(self, ordering: list) -> int:
+        return self.fitness_batch([list(ordering)])[0]
+
+    def fitness_batch(
+        self, population: list[list], rng: "random.Random | None" = None
+    ) -> list[int]:
+        """Widths of every individual, memoized per ordering.
+
+        ``rng`` (the engine's forked tie-break stream) may reorder the
+        evaluation of distinct orderings; widths are pure functions of
+        the ordering, so the values cannot depend on it.
+        """
+        if not population:
+            return []
+        perm = self._codec.encode(population)
+        keys = [row.tobytes() for row in perm]
+        memo = self._fit_memo
+        distinct: dict[bytes, int] = {}
+        for p, key in enumerate(keys):
+            if key not in memo and key not in distinct:
+                distinct[key] = p
+        self._c_batches.inc()
+        self._c_evals.inc(len(population))
+        self._c_memo.inc(len(population) - len(distinct))
+        if distinct:
+            rows = list(distinct.values())
+            if rng is not None:
+                rng.shuffle(rows)
+            if len(memo) + len(rows) > self._fit_memo_cap:
+                memo.clear()
+            for start in range(0, len(rows), _elim_chunk(self._codec.n)):
+                chunk = rows[start:start + _elim_chunk(self._codec.n)]
+                widths = self._widths(perm[chunk])
+                for row, width in zip(chunk, widths):
+                    memo[keys[row]] = int(width)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "ga_vector_batch",
+                metric="tw",
+                individuals=len(population),
+                evaluated=len(distinct),
+            )
+        return [memo[key] for key in keys]
+
+    def _widths(self, perm: "np.ndarray") -> "np.ndarray":
+        pop, n = perm.shape
+        if n == 0:
+            return np.zeros(pop, dtype=np.int64)
+        local = self._A[perm[:, :, None], perm[:, None, :]]
+        rows = np.arange(pop)
+        widths = np.zeros(pop, dtype=np.int64)
+        for i in range(n):
+            if (widths >= n - i - 1).all():
+                break
+            later = local[:, i, i + 1:]
+            np.maximum(
+                widths, np.count_nonzero(later, axis=1), out=widths
+            )
+            if i < n - 1:
+                has = later.any(axis=1)
+                successor = later.argmax(axis=1) + (i + 1)
+                hit_rows = rows[has]
+                hit_succ = successor[has]
+                local[hit_rows, hit_succ, i + 1:] |= later[has]
+                local[hit_rows, hit_succ, hit_succ] = False
+        return widths
+
+
+class VectorGhwEvaluator:
+    """Batched GA-ghw fitness: greedy GHD widths for a whole generation.
+
+    Bit-identical to :class:`~repro.genetic.ga_ghw.PrefixGhwEvaluator` /
+    :func:`~repro.genetic.ga_ghw.ghw_fitness`: bags come from the same
+    fill propagation and every bag's size is the deterministic greedy
+    cover's (max gain, ties by name ``repr`` — realized here by
+    pre-sorting the edge matrix in rank order so ``argmax`` breaks ties
+    identically).  Cover sizes are read from / written to the shared
+    engine's ``cache.greedy``, so a run can mix this evaluator with the
+    pure-python paths without recomputation.
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        engine: BitCoverEngine | None = None,
+        metrics: Metrics | None = None,
+        tracer=NULL_TRACER,
+    ):
+        self.engine = engine or BitCoverEngine(hypergraph, metrics)
+        index, labels, masks = as_bitgraph(hypergraph).adjacency_masks()
+        self._codec = _PermutationCodec(index, list(labels))
+        n = self._codec.n
+        self._A = _masks_to_matrix(list(masks), n)
+        self._bag_bytes = max(1, (n + 7) // 8)
+        # Edge incidence in tie-break rank order: row r is the rank-r
+        # edge, so the batched greedy's argmax (first maximum) picks the
+        # same edge as the heap's (max gain, min rank) key.
+        by_rank = sorted(
+            range(len(self.engine.edge_masks)),
+            key=self.engine.edge_order.__getitem__,
+        )
+        ranked = [self.engine.edge_masks[e] for e in by_rank]
+        edges = _masks_to_matrix(ranked, n)
+        m = len(ranked)
+        density = edges.sum() / max(1, m * n)
+        self._use_sparse = _sparse is not None and density < _SPARSE_DENSITY
+        if self._use_sparse:
+            self._edges_csr = _sparse.csr_matrix(edges.astype(np.int16))
+            self._not_edges = (~edges).astype(np.int16)
+        else:
+            self._edges_f = np.ascontiguousarray(edges.T, dtype=np.float32)
+            self._not_edges = (~edges).astype(np.float32)
+        self._fit_memo: dict[bytes, int] = {}
+        self._fit_memo_cap = _fit_memo_cap(n)
+        self._bag_memo: dict[bytes, int] = {}
+        self._tracer = tracer or NULL_TRACER
+        registry = metrics if metrics is not None else Metrics()
+        self._c_evals = registry.counter("vector.batch_evals")
+        self._c_batches = registry.counter("vector.batches")
+        self._c_memo = registry.counter("vector.memo_hits")
+        self._c_bags = registry.counter("vector.bags_covered")
+
+    def fitness(self, ordering: list) -> int:
+        return self.fitness_batch([list(ordering)])[0]
+
+    def fitness_batch(
+        self, population: list[list], rng: "random.Random | None" = None
+    ) -> list[int]:
+        """Greedy GHD widths of every individual, memoized per ordering.
+
+        ``rng`` only reorders which distinct orderings are eliminated
+        first (the engine's forked tie-break stream); every width is a
+        pure function of its ordering, so values are order-independent.
+        """
+        if not population:
+            return []
+        perm = self._codec.encode(population)
+        keys = [row.tobytes() for row in perm]
+        memo = self._fit_memo
+        distinct: dict[bytes, int] = {}
+        for p, key in enumerate(keys):
+            if key not in memo and key not in distinct:
+                distinct[key] = p
+        self._c_batches.inc()
+        self._c_evals.inc(len(population))
+        self._c_memo.inc(len(population) - len(distinct))
+        covered = 0
+        if distinct:
+            rows = list(distinct.values())
+            if rng is not None:
+                rng.shuffle(rows)
+            if len(memo) + len(rows) > self._fit_memo_cap:
+                memo.clear()
+            chunk_size = _elim_chunk(self._codec.n)
+            for start in range(0, len(rows), chunk_size):
+                chunk = rows[start:start + chunk_size]
+                widths, bags = self._chunk_widths(perm[chunk])
+                covered += bags
+                for row, width in zip(chunk, widths):
+                    memo[keys[row]] = int(width)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "ga_vector_batch",
+                metric="ghw",
+                individuals=len(population),
+                evaluated=len(distinct),
+                bags_covered=covered,
+            )
+        return [memo[key] for key in keys]
+
+    # -- bag assembly ---------------------------------------------------
+
+    def _chunk_widths(self, perm: "np.ndarray") -> tuple[list[int], int]:
+        """(widths per row of ``perm``, number of freshly covered bags)."""
+        pop, n = perm.shape
+        if n == 0:
+            return [0] * pop, 0
+        packed = self._eliminate(perm)
+        # (pop * n, B) byte rows, individual-major.
+        flat = packed.transpose(1, 0, 2).reshape(pop * n, self._bag_bytes)
+        raw = flat.tobytes()
+        width_b = self._bag_bytes
+        bag_memo = self._bag_memo
+        sizes = np.empty(pop * n, dtype=np.int64)
+        misses: dict[bytes, list[int]] = {}
+        greedy = self.engine.cache.greedy
+        for k in range(pop * n):
+            key = raw[k * width_b:(k + 1) * width_b]
+            size = bag_memo.get(key)
+            if size is not None:
+                sizes[k] = size
+                continue
+            slots = misses.get(key)
+            if slots is None:
+                misses[key] = [k]
+            else:
+                slots.append(k)
+        fresh = 0
+        if misses:
+            if len(bag_memo) + len(misses) > _BAG_MEMO_ENTRIES:
+                bag_memo.clear()
+            cache = self.engine.cache
+            pending_keys: list[bytes] = []
+            for key, slots in misses.items():
+                mask = int.from_bytes(key, "little")
+                size = greedy.get(mask)
+                if size is not None:
+                    cache.c_greedy_hit.inc()
+                    bag_memo[key] = size
+                    sizes[slots] = size
+                else:
+                    pending_keys.append(key)
+            if pending_keys:
+                fresh = len(pending_keys)
+                bag_rows = np.unpackbits(
+                    np.frombuffer(
+                        b"".join(pending_keys), dtype=np.uint8
+                    ).reshape(fresh, width_b),
+                    axis=1,
+                    bitorder="little",
+                )[:, :n].astype(bool)
+                cover_sizes = self._batch_greedy(bag_rows)
+                self._c_bags.inc(fresh)
+                for key, size in zip(pending_keys, cover_sizes):
+                    size = int(size)
+                    mask = int.from_bytes(key, "little")
+                    cache.c_greedy_computed.inc()
+                    greedy[mask] = size
+                    cache.store_cover(mask, size)
+                    bag_memo[key] = size
+                    sizes[misses[key]] = size
+        return [int(w) for w in sizes.reshape(pop, n).max(axis=1)], fresh
+
+    def _eliminate(self, perm: "np.ndarray") -> "np.ndarray":
+        """Bags of every (individual, step), packed to global-bit bytes.
+
+        Returns ``(n, pop, B)`` uint8 — step-major so the local->global
+        scatter is a single ``put_along_axis``.
+        """
+        pop, n = perm.shape
+        local = self._A[perm[:, :, None], perm[:, None, :]]
+        rows = np.arange(pop)
+        bags_local = np.zeros((n, pop, n), dtype=bool)
+        for i in range(n):
+            later = bags_local[i]
+            later[:, i + 1:] = local[:, i, i + 1:]
+            if i < n - 1:
+                tail = later[:, i + 1:]
+                has = tail.any(axis=1)
+                successor = tail.argmax(axis=1) + (i + 1)
+                hit_rows = rows[has]
+                hit_succ = successor[has]
+                local[hit_rows, hit_succ, i + 1:] |= tail[has]
+                local[hit_rows, hit_succ, hit_succ] = False
+        bags = np.zeros_like(bags_local)
+        scatter = np.broadcast_to(perm[None, :, :], (n, pop, n))
+        np.put_along_axis(bags, scatter, bags_local, axis=2)
+        # The eliminated vertex belongs to its own bag (Definition 16).
+        bags[np.arange(n)[:, None], rows[None, :], perm.T] = True
+        return np.packbits(bags, axis=2, bitorder="little")
+
+    # -- batched greedy cover -------------------------------------------
+
+    def _batch_greedy(self, bags: "np.ndarray") -> "np.ndarray":
+        """Greedy cover sizes of every bag row, all bags per round.
+
+        Per round one matmul scores every (bag, edge) gain; ``argmax``
+        over the rank-ordered edge axis reproduces the heap's pick and
+        finished bags are compacted away.  Raises
+        :class:`SetCoverError` when a bag has an uncoverable vertex
+        (zero max gain), like the scalar greedy.
+        """
+        total = bags.shape[0]
+        sizes = np.zeros(total, dtype=np.int64)
+        if self._use_sparse:
+            uncovered = bags.astype(np.int16)
+        else:
+            uncovered = bags.astype(np.float32)
+        ids = np.arange(total)
+        alive = bags.any(axis=1)
+        uncovered = uncovered[alive]
+        ids = ids[alive]
+        not_edges = self._not_edges
+        while ids.size:
+            if self._use_sparse:
+                gains = (self._edges_csr @ uncovered.T).T
+            else:
+                gains = uncovered @ self._edges_f
+            best = gains.argmax(axis=1)
+            if not gains[np.arange(ids.size), best].all():
+                stuck = int(ids[np.argmin(gains[np.arange(ids.size), best])])
+                vertices = self.engine.mask_to_vertices(
+                    int.from_bytes(
+                        np.packbits(
+                            bags[stuck], bitorder="little"
+                        ).tobytes(),
+                        "little",
+                    )
+                )
+                raise SetCoverError(
+                    f"vertices {sorted(map(repr, vertices))} occur in no "
+                    "hyperedge"
+                )
+            sizes[ids] += 1
+            if self._use_sparse:
+                uncovered &= not_edges[best]
+            else:
+                uncovered *= not_edges[best]
+            alive = uncovered.any(axis=1)
+            if not alive.all():
+                uncovered = uncovered[alive]
+                ids = ids[alive]
+        return sizes
+
+
+def _fit_memo_cap(n: int) -> int:
+    return max(1024, _FIT_MEMO_BYTES // max(1, 4 * n))
+
+
+def _elim_chunk(n: int) -> int:
+    return max(1, _ELIM_CHUNK_ELEMS // max(1, n * n))
