@@ -5,6 +5,7 @@ Usage::
 
     python -m repro tw   <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
+    python -m repro fhw  <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
     python -m repro fuzz [--seed N] [--cases N] [--replay FILE]
@@ -165,6 +166,64 @@ def cmd_ghw(args: argparse.Namespace) -> int:
         tracer.close()
 
 
+def cmd_fhw(args: argparse.Namespace) -> int:
+    from .decomposition import fhd_from_ordering
+    from .genetic import ga_fhw
+    from .search import astar_fhw
+    from .verify import check_fhd
+    from .widths import format_width
+
+    structure = load_structure(args.instance)
+    if isinstance(structure, Graph):
+        structure = Hypergraph.from_graph(structure)
+    tracer = _make_tracer(args)
+    metrics = Metrics() if args.metrics else None
+    try:
+        if args.ga:
+            result = ga_fhw(
+                structure,
+                GAParameters(population_size=24, generations=40),
+                rng=random.Random(args.seed),
+                max_seconds=args.budget,
+                hooks=BoundHooks(tracer=tracer),
+                metrics=metrics,
+            )
+            print(f"fhw <= {format_width(result.best_fitness)} "
+                  f"(GA-fhw, {result.evaluations} evaluations)")
+            if metrics is not None:
+                _print_cover_metrics(metrics)
+            return 0
+        search = astar_fhw(
+            structure,
+            budget=SearchBudget(max_seconds=args.budget, tracer=tracer),
+            metrics=metrics,
+        )
+        if search.exact:
+            # Exact claims ship with their certificate checked: rebuild
+            # the FHD from the witness ordering and re-solve its LPs.
+            certified = ""
+            if search.ordering is not None and structure.num_edges:
+                fhd = fhd_from_ordering(structure, search.ordering)
+                problems = check_fhd(
+                    fhd, structure, claimed_width=search.upper_bound
+                )
+                certified = (
+                    ", certified" if not problems
+                    else f", CERTIFICATE INVALID: {problems[0]}"
+                )
+            print(f"fhw = {format_width(search.width)} "
+                  f"(A*-fhw, {search.stats.nodes_expanded} nodes{certified})")
+        else:
+            print(f"fhw in [{format_width(search.lower_bound)}, "
+                  f"{format_width(search.upper_bound)}] (budget exhausted)")
+        if args.metrics:
+            print(search.summary("fhw"))
+            _print_cover_metrics(metrics)
+        return 0
+    finally:
+        tracer.close()
+
+
 def cmd_hw(args: argparse.Namespace) -> int:
     from .search import hypertree_width
 
@@ -198,7 +257,7 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
         metric=metric,
         trace=args.trace,
     )
-    label = "treewidth" if result.metric == "tw" else "ghw"
+    label = {"tw": "treewidth"}.get(result.metric, result.metric)
     names = backends or list(DEFAULT_BACKENDS[result.metric])
     header = (
         f"portfolio ({result.metric}, {len(names)} backends, "
@@ -355,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, func, doc in (
         ("tw", cmd_tw, "compute (or bound) the treewidth"),
         ("ghw", cmd_ghw, "compute (or bound) the generalized hypertree width"),
+        ("fhw", cmd_fhw, "compute (or bound) the fractional hypertree width"),
     ):
         p = sub.add_parser(name, help=doc)
         p.add_argument("instance", help="instance name or file path")
@@ -394,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", default=None,
                    help="comma-separated backend names "
                    "(default: full set for the metric)")
-    p.add_argument("--metric", choices=["tw", "ghw"], default=None,
+    p.add_argument("--metric", choices=["tw", "ghw", "fhw"], default=None,
                    help="width metric (default: tw for graphs, "
                    "ghw for hypergraphs)")
     p.add_argument("--seed", type=int, default=0)

@@ -13,6 +13,7 @@ from .elimination import (
     td_from_ordering,
     vertex_elimination,
 )
+from .fhd import FractionalHypertreeDecomposition, fhd_from_ordering
 from .ghd import GeneralizedHypertreeDecomposition
 from .htd import (
     HypertreeDecomposition,
@@ -32,6 +33,7 @@ from .tree_decomposition import DecompositionError, TreeDecomposition
 
 __all__ = [
     "DecompositionError",
+    "FractionalHypertreeDecomposition",
     "GeneralizedHypertreeDecomposition",
     "HypertreeDecomposition",
     "NiceNode",
@@ -43,6 +45,7 @@ __all__ = [
     "check_ordering",
     "dca_ordering",
     "elimination_bags",
+    "fhd_from_ordering",
     "ghd_from_ordering",
     "htd_from_ordering",
     "hypertree_width_upper_bound",

@@ -4,7 +4,7 @@ operators of §4.3."""
 
 from .engine import GAParameters, GAResult, run_permutation_ga
 from .ga_bayes import ga_triangulation
-from .ga_ghw import ga_ghw, ghw_fitness
+from .ga_ghw import PrefixGhwEvaluator, ga_fhw, ga_ghw, ghw_fitness
 from .ga_tw import ga_treewidth
 from .local_search import LocalSearchResult, hill_climb_ordering
 from .operators import (
@@ -47,6 +47,8 @@ __all__ = [
     "cx_crossover",
     "dm_mutation",
     "em_mutation",
+    "PrefixGhwEvaluator",
+    "ga_fhw",
     "ga_ghw",
     "ga_triangulation",
     "ga_treewidth",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..search.common import BoundHooks
 from ..telemetry import NULL_TRACER
+from ..widths import as_width
 from .operators import CROSSOVER_OPERATORS, MUTATION_OPERATORS
 from .selection import tournament_selection
 
@@ -160,7 +161,7 @@ def run_permutation_ga(
         best_individual = list(population[best_index])
         history = [best_fitness]
         if hooks is not None and hooks.publish_upper is not None:
-            hooks.publish_upper(int(best_fitness))
+            hooks.publish_upper(as_width(best_fitness))
         if tracing:
             tracer.event("ga_improved", generation=0, best=best_fitness)
 
@@ -198,7 +199,7 @@ def run_permutation_ga(
                 best_fitness = fitnesses[gen_best]
                 best_individual = list(population[gen_best])
                 if hooks is not None and hooks.publish_upper is not None:
-                    hooks.publish_upper(int(best_fitness))
+                    hooks.publish_upper(as_width(best_fitness))
                 if tracing:
                     tracer.event(
                         "ga_improved",

@@ -38,6 +38,7 @@ from ..setcover.bitcover import BitCoverEngine
 from ..setcover.exact import exact_set_cover
 from ..setcover.greedy import greedy_set_cover
 from ..telemetry import Metrics
+from ..widths import Width, as_width
 from .engine import GAParameters, GAResult, run_permutation_ga
 
 
@@ -92,8 +93,20 @@ class PrefixGhwEvaluator:
         hypergraph: Hypergraph,
         engine: BitCoverEngine | None = None,
         metrics: Metrics | None = None,
+        measure: str = "integral",
     ):
+        if measure not in ("integral", "fractional"):
+            raise ValueError(f"unknown bag-cost measure {measure!r}")
         self.engine = engine or BitCoverEngine(hypergraph, metrics)
+        self.measure = measure
+        # The per-bag scorer: greedy covers for GA-ghw (bit-identical to
+        # Fig. 7.2), the exact rational LP for GA-fhw (fitness is then
+        # the true width_f of the ordering, not just an upper bound).
+        self._size = (
+            self.engine.fractional_size
+            if measure == "fractional"
+            else self.engine.greedy_size
+        )
         # Elimination state: filled adjacency masks (BitGraph interning,
         # mutated in place) with a per-step undo log of (bit, old mask)
         # pairs — the minimal reversible elimination, much lighter than
@@ -104,7 +117,7 @@ class PrefixGhwEvaluator:
         self._present = (1 << len(self._labels)) - 1
         self._undo: list[list[tuple[int, int]]] = []
         self._path_bits: list[int] = []
-        self._widths: list[int] = []
+        self._widths: list[Width] = []
         self._reused = metrics.counter("ga.prefix.reused") if metrics else None
         self._scored = metrics.counter("ga.prefix.scored") if metrics else None
 
@@ -114,11 +127,12 @@ class PrefixGhwEvaluator:
         index = self._index
         return [index[v] for v in ordering]
 
-    def fitness(self, ordering: list) -> int:
-        """``ghw_fitness`` of ``ordering``, reusing the shared prefix."""
+    def fitness(self, ordering: list) -> Width:
+        """``ghw_fitness`` of ``ordering`` (its ``width_f`` under the
+        fractional measure), reusing the shared prefix."""
         return self._fitness_bits(self.order_bits(ordering))
 
-    def _fitness_bits(self, order_bits: list[int]) -> int:
+    def _fitness_bits(self, order_bits: list[int]) -> Width:
         path = self._path_bits
         widths = self._widths
         adj = self._adj
@@ -135,14 +149,14 @@ class PrefixGhwEvaluator:
             self._reused.inc(shared)
             self._scored.inc(len(order_bits))
         width = widths[-1] if widths else 0
-        greedy_size = self.engine.greedy_size
+        bag_size = self._size
         present = self._present
         for b in order_bits[shared:]:
             bit = 1 << b
             nbrs = adj[b] & present
             # The bag of b is its closed neighborhood in the current
             # filled graph — read it before eliminating.
-            size = greedy_size(nbrs | bit)
+            size = bag_size(nbrs | bit)
             if size > width:
                 width = size
             present &= ~bit
@@ -165,7 +179,7 @@ class PrefixGhwEvaluator:
 
     def evaluate_population(
         self, population: list[list], rng: "random.Random | None" = None
-    ) -> list[int]:
+    ) -> list[Width]:
         """Fitnesses of a whole generation, scored in prefix-friendly
         order, reported in the population's order.
 
@@ -191,7 +205,7 @@ class PrefixGhwEvaluator:
                     rng.shuffle(run)
                     order[start:stop] = run
                 start = stop
-        fitnesses = [0] * len(population)
+        fitnesses: list[Width] = [0] * len(population)
         for i in order:
             fitnesses[i] = self._fitness_bits(as_bits[i])
         return fitnesses
@@ -311,5 +325,66 @@ def ga_ghw(
         if exact_width < result.best_fitness:
             result.best_fitness = exact_width
             if hooks is not None and hooks.publish_upper is not None:
-                hooks.publish_upper(int(exact_width))
+                hooks.publish_upper(as_width(exact_width))
     return result
+
+
+def ga_fhw(
+    hypergraph: Hypergraph,
+    parameters: GAParameters | None = None,
+    rng: random.Random | None = None,
+    max_seconds: float | None = None,
+    seed_with_heuristics: bool = False,
+    hooks: "BoundHooks | None" = None,
+    metrics: Metrics | None = None,
+    engine: BitCoverEngine | None = None,
+    seed_individuals: list | None = None,
+) -> GAResult:
+    """Run GA-fhw; ``result.best_fitness`` is a rational fhw upper bound
+    (``int`` or ``Fraction``, never float) witnessed by
+    ``result.best_individual``.
+
+    GA-ghw with the fitness measure swapped: each bag is scored by the
+    exact rational LP of :mod:`repro.setcover.fractional` through the
+    engine's dominance-cached fractional layer, so the fitness *is* the
+    exact ``width_f(σ, H)`` of the ordering — no rescore pass exists
+    because there is nothing tighter to rescore with.  Published upper
+    bounds are exact rational incumbents for the portfolio's shared
+    channel.  The numpy vector kernel scores integral greedy covers
+    only, so GA-fhw always uses the incremental prefix evaluator.
+    """
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        raise ValueError(
+            f"hypergraph has isolated vertices {sorted(map(repr, isolated))}; "
+            "no fractional hypertree decomposition exists"
+        )
+    params = parameters or GAParameters()
+    generator = rng or random.Random(0)
+    vertices = hypergraph.vertex_list()
+    if not vertices or hypergraph.num_edges == 0:
+        return GAResult(0, list(vertices), 0, 0, [0])
+
+    seeds = [list(seed) for seed in seed_individuals or []]
+    if seed_with_heuristics:
+        from ..bounds.upper import min_degree_ordering, min_fill_ordering
+
+        seeds += [
+            min_fill_ordering(hypergraph),
+            min_degree_ordering(hypergraph),
+        ]
+    seeds = seeds or None
+
+    prefix_evaluator = PrefixGhwEvaluator(
+        hypergraph, engine=engine, metrics=metrics, measure="fractional"
+    )
+    return run_permutation_ga(
+        elements=vertices,
+        fitness=prefix_evaluator.fitness,
+        parameters=params,
+        rng=generator,
+        max_seconds=max_seconds,
+        seed_individuals=seeds,
+        hooks=hooks,
+        fitness_batch=prefix_evaluator.evaluate_population,
+    )

@@ -284,6 +284,22 @@ def clique_hypergraph(n: int) -> Hypergraph:
     return hypergraph
 
 
+def fano_plane_hypergraph() -> Hypergraph:
+    """The Fano plane as a hypergraph: 7 points, 7 lines of 3 points,
+    every pair of points on exactly one line (so the primal graph is
+    K₇).  The canonical fhw-vs-ghw separator: its uniform-1/3 fractional
+    cover gives fhw = 7/3 while ghw = 3 (two lines cover at most 5 of
+    the 7 points)."""
+    lines = [
+        (1, 2, 3), (1, 4, 5), (1, 6, 7),
+        (2, 4, 6), (2, 5, 7), (3, 4, 7), (3, 5, 6),
+    ]
+    hypergraph = Hypergraph(vertices=range(1, 8))
+    for line in lines:
+        hypergraph.add_edge(line, name="l" + "".join(map(str, line)))
+    return hypergraph
+
+
 def grid2d_hypergraph(n: int) -> Hypergraph:
     """``grid2d_N``: checkerboard hypergraph of the n×n grid.
 

@@ -19,6 +19,7 @@ from ..hypergraph.generators import (
     adder_hypergraph,
     bridge_hypergraph,
     clique_hypergraph,
+    fano_plane_hypergraph,
     grid2d_hypergraph,
     grid3d_hypergraph,
     random_circuit_hypergraph,
@@ -98,6 +99,8 @@ def _register_table_7_1() -> None:
 # measured-only values).
 SMALL_FAMILY = [
     ("adder_5", adder_hypergraph, 5),
+    ("clique_3", clique_hypergraph, 3),
+    ("clique_5", clique_hypergraph, 5),
     ("adder_10", adder_hypergraph, 10),
     ("adder_15", adder_hypergraph, 15),
     ("adder_25", adder_hypergraph, 25),
@@ -133,5 +136,23 @@ def _register_small_family() -> None:
         )
 
 
+def _register_fano() -> None:
+    built = fano_plane_hypergraph()
+    register(
+        Instance(
+            name="fano",
+            kind="hypergraph",
+            provenance="exact",
+            factory=fano_plane_hypergraph,
+            reported_vertices=built.num_vertices,
+            reported_edges=built.num_edges,
+            paper={},
+            notes="Fano plane — the canonical fhw < ghw separator "
+            "(fhw 7/3, ghw 3)",
+        )
+    )
+
+
 _register_table_7_1()
 _register_small_family()
+_register_fano()

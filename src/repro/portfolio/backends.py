@@ -3,7 +3,10 @@
 Each backend adapts one of the repo's anytime solvers to a uniform
 surface: ``run(structure, config, hooks) -> BackendReport``.  Treewidth
 backends accept graphs (and hypergraphs via their primal graph, which
-every solver already handles); ghw backends require hypergraphs.
+every solver already handles); ghw and fhw backends require
+hypergraphs (graphs are lifted).  fhw bounds are exact rationals
+(``int`` or ``Fraction``) — the shared channel and the reports carry
+them without rounding.
 
 The ``min-fill`` backend is the portfolio's seed: it computes the greedy
 heuristic bounds in milliseconds and publishes them, so the expensive
@@ -26,17 +29,21 @@ from ..bounds.ghw_lower import ghw_lower_bound
 from ..bounds.lower import minor_gamma_r, minor_min_width
 from ..bounds.upper import best_heuristic_ordering
 from ..decomposition import ghw_ordering_width
-from ..genetic import GAParameters, ga_ghw, ga_treewidth
+from ..genetic import GAParameters, ga_fhw, ga_ghw, ga_treewidth
+from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
 from ..search import (
     BoundHooks,
     SearchBudget,
+    astar_fhw,
     astar_ghw,
     astar_treewidth,
     branch_and_bound_ghw,
     branch_and_bound_treewidth,
 )
+from ..search.ghw_common import GhwSearchContext, initial_ghw_bounds
+from ..widths import Width, as_width
 
 
 @dataclass
@@ -82,8 +89,8 @@ class BackendReport:
     """
 
     backend: str
-    upper_bound: int | None = None
-    lower_bound: int | None = None
+    upper_bound: Width | None = None
+    lower_bound: Width | None = None
     ordering: list | None = None
     exact: bool = False
     nodes: int = 0
@@ -115,9 +122,11 @@ def _search_report(name: str, result) -> BackendReport:
 
 
 def _ga_report(name: str, result) -> BackendReport:
+    # as_width, not int(): truncating a rational fitness (int(3/2) == 1)
+    # would report an unwitnessed — unsound — upper bound.
     return BackendReport(
         backend=name,
-        upper_bound=int(result.best_fitness),
+        upper_bound=as_width(result.best_fitness),
         lower_bound=None,
         ordering=list(result.best_individual) or None,
         exact=False,
@@ -266,6 +275,59 @@ def _run_minfill_ghw(structure, config: BackendConfig, hooks: BoundHooks):
     )
 
 
+# -- fhw backends -------------------------------------------------------
+
+
+def _run_astar_fhw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = astar_fhw(
+        _as_hypergraph(structure),
+        budget=_budget(config, hooks),
+        rng=random.Random(config.seed),
+    )
+    return _search_report("astar-fhw", result)
+
+
+def _run_ga_fhw(structure, config: BackendConfig, hooks: BoundHooks):
+    result = ga_fhw(
+        _as_hypergraph(structure),
+        _ga_parameters(config),
+        rng=random.Random(config.seed),
+        max_seconds=None if config.deterministic else config.max_seconds,
+        hooks=hooks,
+        seed_individuals=_warm_seeds(config),
+    )
+    return _ga_report("ga-fhw", result)
+
+
+def _run_minfill_fhw(structure, config: BackendConfig, hooks: BoundHooks):
+    """The fhw seed backend: min-fill ordering scored with exact
+    rational LP covers for the upper bound, the un-ceiled (mmw+1)/rank
+    bound for the lower — milliseconds, published immediately."""
+    hypergraph = _as_hypergraph(structure)
+    rng = random.Random(config.seed)
+    if hypergraph.num_edges == 0:
+        return BackendReport(
+            backend="min-fill-fhw", upper_bound=0, lower_bound=0,
+            ordering=hypergraph.vertex_list(), exact=True,
+        )
+    context = GhwSearchContext(hypergraph, measure="fractional")
+    lb = context.heuristic(BitGraph.from_hypergraph(hypergraph))
+    ordering, _tw = best_heuristic_ordering(hypergraph, rng)
+    ub = initial_ghw_bounds(hypergraph, context, list(ordering))
+    if hooks.publish_lower is not None:
+        hooks.publish_lower(lb)
+    if hooks.publish_upper is not None:
+        hooks.publish_upper(ub)
+    return BackendReport(
+        backend="min-fill-fhw",
+        upper_bound=ub,
+        lower_bound=lb,
+        ordering=list(ordering),
+        exact=lb >= ub,
+        nodes=0,
+    )
+
+
 def _run_crash(structure, config: BackendConfig, hooks: BoundHooks):
     raise RuntimeError("injected portfolio worker failure (test backend)")
 
@@ -275,7 +337,7 @@ class BackendSpec:
     """A named backend: which metric it bounds and how to run it."""
 
     name: str
-    kind: str  # "tw" | "ghw" | "any"
+    kind: str  # "tw" | "ghw" | "fhw" | "any"
     run: Callable
 
 
@@ -290,6 +352,9 @@ BACKENDS: dict[str, BackendSpec] = {
         BackendSpec("astar-ghw", "ghw", _run_astar_ghw),
         BackendSpec("ga-ghw", "ghw", _run_ga_ghw),
         BackendSpec("min-fill-ghw", "ghw", _run_minfill_ghw),
+        BackendSpec("astar-fhw", "fhw", _run_astar_fhw),
+        BackendSpec("ga-fhw", "fhw", _run_ga_fhw),
+        BackendSpec("min-fill-fhw", "fhw", _run_minfill_fhw),
         BackendSpec("crash", "any", _run_crash),
     )
 }
@@ -297,6 +362,7 @@ BACKENDS: dict[str, BackendSpec] = {
 DEFAULT_BACKENDS: dict[str, tuple[str, ...]] = {
     "tw": ("astar-tw", "bb-tw", "ga-tw", "min-fill"),
     "ghw": ("bb-ghw", "astar-ghw", "ga-ghw", "min-fill-ghw"),
+    "fhw": ("astar-fhw", "ga-fhw", "min-fill-fhw"),
 }
 
 

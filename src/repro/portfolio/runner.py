@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
 from ..telemetry import NULL_TRACER, MemoryTracer, merge_records, write_jsonl
+from ..widths import Width
 from .backends import (
     BACKENDS,
     BackendConfig,
@@ -61,9 +62,9 @@ class PortfolioResult:
     point of the shared channel.
     """
 
-    metric: str  # "tw" | "ghw"
-    upper_bound: int
-    lower_bound: int
+    metric: str  # "tw" | "ghw" | "fhw"
+    upper_bound: Width
+    lower_bound: Width
     exact: bool
     ordering: list | None
     best_backend: str
@@ -76,8 +77,9 @@ class PortfolioResult:
     trace_records: int = 0
 
     @property
-    def width(self) -> int:
-        """The best known width (the upper bound's witness)."""
+    def width(self) -> Width:
+        """The best known width (the upper bound's witness) — an ``int``
+        for tw/ghw, possibly a ``Fraction`` for fhw."""
         return self.upper_bound
 
 
@@ -135,9 +137,10 @@ def run_portfolio(
     """Race solver backends on ``structure`` and merge their bounds.
 
     ``metric`` defaults to ``"tw"`` for graphs and ``"ghw"`` for
-    hypergraphs (graphs are lifted when a ghw metric is forced, and
+    hypergraphs (graphs are lifted when a ghw/fhw metric is forced, and
     hypergraphs drop to their primal graph for tw — the solvers already
-    handle both).  ``backends`` defaults to the full backend set for the
+    handle both); ``"fhw"`` races the rational-width backends, whose
+    bounds are exact ``Fraction``s end to end.  ``backends`` defaults to the full backend set for the
     metric; with fewer ``jobs`` than backends the surplus runs in later
     waves, seeded by the earlier waves' bounds.
 
@@ -158,8 +161,10 @@ def run_portfolio(
         raise ValueError("jobs must be at least 1")
     if metric is None:
         metric = "ghw" if isinstance(structure, Hypergraph) else "tw"
-    if metric not in ("tw", "ghw"):
-        raise ValueError(f"unknown metric {metric!r} (use 'tw' or 'ghw')")
+    if metric not in ("tw", "ghw", "fhw"):
+        raise ValueError(
+            f"unknown metric {metric!r} (use 'tw', 'ghw' or 'fhw')"
+        )
     specs = resolve_backends(backends, metric)
     if deterministic and max_nodes is None:
         max_nodes = _DETERMINISTIC_DEFAULT_NODES

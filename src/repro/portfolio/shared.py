@@ -2,17 +2,21 @@
 
 Workers race on the same instance, so any worker's incumbent upper bound
 is a global upper bound and any worker's proven lower bound a global
-lower bound.  :class:`SharedBounds` keeps the tightest of each in two
-lock-protected shared integers; workers poll them through their
+lower bound.  :class:`SharedBounds` keeps the tightest of each as an
+exact rational — a lock-protected ``(numerator, denominator)`` pair of
+shared integers per bound, so the fhw backends' ``Fraction`` incumbents
+(7/3, say) cross the process boundary without rounding while tw/ghw
+integers ride along with denominator 1.  Workers poll through their
 :class:`~repro.search.common.BoundHooks` (throttled by
 ``poll_interval``) and propose improvements back.  Both proposals are
-monotone merges — a stale write can never loosen the channel.
+monotone merges (compared by cross-multiplication) — a stale write can
+never loosen the channel.
 
 The channel carries *values only*.  Certificates (orderings) stay in the
 worker that found them and travel home in its
 :class:`~repro.portfolio.backends.BackendReport`; the aggregator picks
 the certificate matching the winning bound.  This keeps the shared state
-two machine words, so polling is cheap enough for search inner loops.
+four machine words, so polling is cheap enough for search inner loops.
 """
 
 from __future__ import annotations
@@ -22,10 +26,7 @@ from dataclasses import dataclass
 
 from ..search.common import BoundHooks
 from ..telemetry import NULL_TRACER
-
-# Sentinels for "no bound yet" (shared ints cannot hold None).
-_UNSET_UB = 2**62
-_UNSET_LB = -1
+from ..widths import Width, as_width, format_width, from_ratio, width_ratio
 
 
 @dataclass(frozen=True)
@@ -34,12 +35,13 @@ class BoundEvent:
 
     ``at`` is seconds since the portfolio started; ``seq`` the worker's
     own monotone counter, which orders events reproducibly when wall
-    clocks cannot (``--deterministic``).
+    clocks cannot (``--deterministic``).  ``value`` is ``int`` for
+    tw/ghw bounds and may be a ``Fraction`` for fhw — never a float.
     """
 
     backend: str
     kind: str  # "ub" | "lb"
-    value: int
+    value: Width
     at: float
     seq: int
 
@@ -52,12 +54,12 @@ class EventRecorder:
         self.t0 = t0
         self.events: list[BoundEvent] = []
 
-    def record(self, kind: str, value: int) -> None:
+    def record(self, kind: str, value: Width) -> None:
         self.events.append(
             BoundEvent(
                 backend=self.backend,
                 kind=kind,
-                value=int(value),
+                value=as_width(value),
                 at=time.monotonic() - self.t0,
                 seq=len(self.events),
             )
@@ -68,40 +70,47 @@ class SharedBounds:
     """Tightest-known global bounds in shared memory.
 
     Built in the parent from a multiprocessing context and inherited by
-    (or pickled to) the worker processes.
+    (or pickled to) the worker processes.  Each bound is one
+    ``ctx.Array("q", 2)`` holding ``[numerator, denominator]`` under a
+    single lock (the pair must merge atomically); ``denominator == 0``
+    means "no bound yet".
     """
 
     def __init__(self, ctx):
-        self._ub = ctx.Value("q", _UNSET_UB)
-        self._lb = ctx.Value("q", _UNSET_LB)
+        self._ub = ctx.Array("q", [0, 0])
+        self._lb = ctx.Array("q", [0, 0])
 
     # -- worker side ----------------------------------------------------
 
-    def propose_upper(self, value: int) -> bool:
+    def propose_upper(self, value: Width) -> bool:
         """Merge a witnessed upper bound; True if it tightened the channel."""
-        value = int(value)
+        num, den = width_ratio(value)
         with self._ub.get_lock():
-            if value < self._ub.value:
-                self._ub.value = value
+            current_num, current_den = self._ub[0], self._ub[1]
+            if current_den == 0 or num * current_den < current_num * den:
+                self._ub[0], self._ub[1] = num, den
                 return True
         return False
 
-    def propose_lower(self, value: int) -> bool:
+    def propose_lower(self, value: Width) -> bool:
         """Merge a proven lower bound; True if it tightened the channel."""
-        value = int(value)
+        num, den = width_ratio(value)
         with self._lb.get_lock():
-            if value > self._lb.value:
-                self._lb.value = value
+            current_num, current_den = self._lb[0], self._lb[1]
+            if current_den == 0 or num * current_den > current_num * den:
+                self._lb[0], self._lb[1] = num, den
                 return True
         return False
 
-    def upper(self) -> int | None:
-        value = self._ub.value
-        return None if value >= _UNSET_UB else value
+    def upper(self) -> Width | None:
+        with self._ub.get_lock():
+            num, den = self._ub[0], self._ub[1]
+        return None if den == 0 else from_ratio(num, den)
 
-    def lower(self) -> int | None:
-        value = self._lb.value
-        return None if value <= _UNSET_LB else value
+    def lower(self) -> Width | None:
+        with self._lb.get_lock():
+            num, den = self._lb[0], self._lb[1]
+        return None if den == 0 else from_ratio(num, den)
 
 
 def make_worker_hooks(
@@ -109,8 +118,8 @@ def make_worker_hooks(
     recorder: EventRecorder,
     poll_interval: int = 64,
     tracer=NULL_TRACER,
-    initial_upper: int | None = None,
-    initial_lower: int | None = None,
+    initial_upper: Width | None = None,
+    initial_lower: Width | None = None,
 ) -> BoundHooks:
     """Build the :class:`BoundHooks` a worker hands to its solver.
 
@@ -127,7 +136,9 @@ def make_worker_hooks(
     every proposal that actually tightens the shared channel is
     additionally traced as a ``bound_exchange`` event — the message
     level of the portfolio's cooperation, one layer above the solvers'
-    own ``bound_publish`` stream.
+    own ``bound_publish`` stream.  Rational values are traced in their
+    exact ``"7/3"`` rendering (ints stay ints) so the JSONL never sees a
+    lossy float.
     """
     tracing = bool(getattr(tracer, "enabled", False))
     if shared is None:
@@ -146,17 +157,25 @@ def make_worker_hooks(
             tracer=tracer,
         )
 
-    def publish_upper(value: int) -> None:
+    def _trace_value(value: Width):
+        value = as_width(value)
+        return value if isinstance(value, int) else format_width(value)
+
+    def publish_upper(value: Width) -> None:
         if shared.propose_upper(value):
             recorder.record("ub", value)
             if tracing:
-                tracer.event("bound_exchange", kind="ub", value=int(value))
+                tracer.event(
+                    "bound_exchange", kind="ub", value=_trace_value(value)
+                )
 
-    def publish_lower(value: int) -> None:
+    def publish_lower(value: Width) -> None:
         if shared.propose_lower(value):
             recorder.record("lb", value)
             if tracing:
-                tracer.event("bound_exchange", kind="lb", value=int(value))
+                tracer.event(
+                    "bound_exchange", kind="lb", value=_trace_value(value)
+                )
 
     return BoundHooks(
         poll_upper=shared.upper,

@@ -1,6 +1,7 @@
 """Exact search algorithms: A*-tw (Ch. 5), BB-tw (§4.4), BB-ghw (Ch. 8)
 and A*-ghw (Ch. 9), plus their shared reductions and pruning rules."""
 
+from .astar_fhw import astar_fhw, brute_force_fhw
 from .astar_ghw import astar_ghw
 from .astar_tw import astar_treewidth, brute_force_treewidth
 from .bb_ghw import branch_and_bound_ghw, brute_force_ghw
@@ -36,10 +37,12 @@ __all__ = [
     "SearchBudget",
     "SearchResult",
     "SearchStats",
+    "astar_fhw",
     "astar_ghw",
     "astar_treewidth",
     "branch_and_bound_ghw",
     "branch_and_bound_treewidth",
+    "brute_force_fhw",
     "brute_force_ghw",
     "brute_force_treewidth",
     "default_precedes",

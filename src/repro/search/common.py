@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..hypergraph.bitgraph import BitGraph
 from ..hypergraph.graph import Graph, Vertex
+from ..widths import Width, format_width
 from ..telemetry import NULL_TRACER
 
 # Node-expansion events are batched: one "node_batch" trace record per
@@ -162,14 +163,14 @@ class _BudgetClock:
                 if self._tracing:
                     self.tracer.event("bound_adopt", kind="lb", value=value)
 
-    def publish_upper(self, value: int) -> None:
+    def publish_upper(self, value) -> None:
         if self._tracing:
             self.tracer.event("bound_publish", kind="ub", value=value)
         if self._hooks is not None and self._hooks.publish_upper is not None:
             self._hooks.publish_upper(value)
             self.published += 1
 
-    def publish_lower(self, value: int) -> None:
+    def publish_lower(self, value) -> None:
         if self._tracing:
             self.tracer.event("bound_publish", kind="lb", value=value)
         if self._hooks is not None and self._hooks.publish_lower is not None:
@@ -241,24 +242,32 @@ class SearchResult:
     (first-eliminated-first); it is ``None`` only for empty inputs.
     """
 
-    upper_bound: int
-    lower_bound: int
+    upper_bound: Width
+    lower_bound: Width
     ordering: Sequence[Vertex] | None
     exact: bool
     stats: SearchStats = field(default_factory=SearchStats)
 
     @property
-    def width(self) -> int:
-        """The best known width (the upper bound's witness)."""
+    def width(self) -> Width:
+        """The best known width (the upper bound's witness) — ``int``
+        for tw/ghw, possibly ``Fraction`` for fhw."""
         return self.upper_bound
 
     def summary(self, metric: str = "width") -> str:
         """One line with the bounds and the full stats — every counter
-        the search maintains, so nothing is collected but unreported."""
+        the search maintains, so nothing is collected but unreported.
+
+        Bounds render through :func:`repro.widths.format_width`: exact
+        rationals print as ``7/3``, and a float bound (always a width
+        bug) raises instead of printing a plausible-looking ``2.33``."""
         bounds = (
-            f"{metric} = {self.upper_bound}"
+            f"{metric} = {format_width(self.upper_bound)}"
             if self.exact
-            else f"{metric} in [{self.lower_bound}, {self.upper_bound}]"
+            else (
+                f"{metric} in [{format_width(self.lower_bound)}, "
+                f"{format_width(self.upper_bound)}]"
+            )
         )
         s = self.stats
         return (

@@ -2,9 +2,13 @@
 (BB-ghw, Chapter 8; A*-ghw, Chapter 9).
 
 Both searches walk the elimination-ordering tree of the primal graph.
-The cost of a partial ordering is the largest *exact* set-cover size of
-any elimination bag produced so far (Definition 17's ``width(σ, H)``,
-which Chapter 3 proves reaches ``ghw(H)`` for some ordering).  Exact
+The cost of a partial ordering is the largest bag cost of any
+elimination bag produced so far (Definition 17's ``width(σ, H)``, which
+Chapter 3 proves reaches ``ghw(H)`` for some ordering).  The *measure*
+decides what a bag costs: ``"integral"`` is the exact set-cover size
+(ghw); ``"fractional"`` is the exact rational LP optimum of
+:mod:`repro.setcover.fractional` (fhw) — same search tree, rational
+costs, so ``astar_fhw`` reuses this context nearly verbatim.  Exact
 covers come from the bitmask cover engine
 (:class:`repro.setcover.bitcover.BitCoverEngine`) by default — bags
 arrive as integer masks straight off the BitGraph kernel and repeat
@@ -30,13 +34,17 @@ from __future__ import annotations
 
 import math
 
+from fractions import Fraction
+
 from ..hypergraph.graph import Graph, Vertex
 from ..hypergraph.hypergraph import Hypergraph
 from ..bounds.lower import minor_min_width
 from ..setcover.bitcover import BitCoverEngine
 from ..setcover.exact import exact_set_cover
+from ..setcover.fractional import fractional_set_cover
 from ..setcover.greedy import greedy_set_cover
 from ..telemetry import Metrics
+from ..widths import Width, as_width
 
 
 class GhwSearchContext:
@@ -49,6 +57,10 @@ class GhwSearchContext:
     frozenset bags and either graph kernel, so searches and tests can
     mix them freely; pass a :class:`~repro.telemetry.Metrics` registry
     to export the bit engine's cache counters.
+
+    ``measure`` selects the bag cost: ``"integral"`` (exact set cover,
+    the ghw default) or ``"fractional"`` (the exact rational LP optimum,
+    fhw).  Fractional costs are ``int`` or ``Fraction``, never float.
     """
 
     def __init__(
@@ -56,11 +68,15 @@ class GhwSearchContext:
         hypergraph: Hypergraph,
         engine: str = "bit",
         metrics: Metrics | None = None,
+        measure: str = "integral",
     ):
         if engine not in ("bit", "set"):
             raise ValueError(f"unknown cover engine {engine!r}")
+        if measure not in ("integral", "fractional"):
+            raise ValueError(f"unknown bag-cost measure {measure!r}")
         self.hypergraph = hypergraph
         self.engine_kind = engine
+        self.measure = measure
         # Hyperedge sizes restricted to any subset are at most the rank.
         self.rank = max(1, hypergraph.rank())
         index = hypergraph.incidence_index()
@@ -77,6 +93,7 @@ class GhwSearchContext:
             self.engine = None
             self._exact_cache: dict[frozenset, int] = {}
             self._greedy_cache: dict[frozenset, int] = {}
+            self._fractional_cache: dict[frozenset, Width] = {}
 
     # -- covers ---------------------------------------------------------
 
@@ -105,19 +122,39 @@ class GhwSearchContext:
             self._greedy_cache[bag] = size
         return size
 
+    def fractional_cover_size(self, bag: frozenset) -> Width:
+        """Exact fractional cover optimum of a frozenset bag (either
+        engine) — ``int`` or ``Fraction``, never float."""
+        if self.engine is not None:
+            return self.engine.fractional_size(self.engine.mask_of(bag))
+        value = self._fractional_cache.get(bag)
+        if value is None:
+            value = as_width(fractional_set_cover(bag, self.hypergraph)[0])
+            self._fractional_cache[bag] = value
+        return value
+
+    def bag_cost(self, bag: frozenset) -> Width:
+        """The measure's cost of a frozenset bag: exact cover size for
+        ``"integral"``, LP optimum for ``"fractional"``."""
+        if self.measure == "fractional":
+            return self.fractional_cover_size(bag)
+        return self.exact_cover_size(bag)
+
     # -- node values ----------------------------------------------------
 
-    def child_cost(self, graph, vertex: Vertex) -> int:
-        """Exact cover size of the bag produced by eliminating ``vertex``
-        from the current graph state (``{v} ∪ N(v)``)."""
+    def child_cost(self, graph, vertex: Vertex) -> Width:
+        """Bag cost of eliminating ``vertex`` from the current graph
+        state (the bag is ``{v} ∪ N(v)``), under the context's measure."""
         if self.engine is not None and hasattr(graph, "neighbors_mask"):
             # BitGraph interning matches the engine's (both number
             # vertices in hypergraph insertion order), so the bag mask
             # feeds the engine directly.
             mask = graph.neighbors_mask(vertex) | (1 << graph.bit(vertex))
+            if self.measure == "fractional":
+                return self.engine.fractional_size(mask)
             return self.engine.exact_size(mask)
         bag = frozenset(graph.neighbors(vertex) | {vertex})
-        return self.exact_cover_size(bag)
+        return self.bag_cost(bag)
 
     def remaining_rank(self, remaining) -> int:
         """Largest hyperedge restriction to the remaining vertices
@@ -139,10 +176,15 @@ class GhwSearchContext:
             self._rank_memo[mask] = best
         return best
 
-    def heuristic(self, graph) -> int:
-        """Admissible ghw lower bound for the remaining subproblem:
+    def heuristic(self, graph) -> Width:
+        """Admissible lower bound for the remaining subproblem:
         ``ceil((mmw(G) + 1) / rank)`` with the rank restricted to the
-        remaining vertices (tw-ksc-width, §8.1, applied node-wise)."""
+        remaining vertices (tw-ksc-width, §8.1, applied node-wise).
+
+        Under the fractional measure the ceiling is dropped — some
+        future bag has ``mmw + 1`` vertices and a fractional cover of a
+        ``b``-vertex bag weighs at least ``b / rank``, so the raw
+        ``Fraction`` is the (tighter-typed) admissible bound."""
         if len(graph) == 0:
             return 0
         mmw = minor_min_width(graph)
@@ -150,6 +192,8 @@ class GhwSearchContext:
             rank = self.remaining_rank(graph.present_mask)
         else:
             rank = self.remaining_rank(frozenset(graph.vertex_list()))
+        if self.measure == "fractional":
+            return max(1, as_width(Fraction(mmw + 1, rank)))
         return max(1, math.ceil((mmw + 1) / rank))
 
     def completion_bound(self, graph, good_enough: int | None = None) -> int:
@@ -157,7 +201,23 @@ class GhwSearchContext:
         graph state can require: a cover of the whole remaining vertex
         set covers every future bag.  ``good_enough`` (the caller's
         current width ``g``) lets a dominance answer of at most that
-        value close the subtree without running a cover."""
+        value close the subtree without running a cover.
+
+        Under the fractional measure the bound is the exact LP optimum
+        of the remaining set (fractional covers restrict to subsets just
+        like integral ones, and the LP layer has its own dominance
+        cache, so ``good_enough`` is not needed to stay cheap)."""
+        if self.measure == "fractional":
+            if self.engine is not None:
+                if hasattr(graph, "present_mask"):
+                    mask = graph.present_mask
+                else:
+                    mask = self.engine.mask_of(graph.vertex_list())
+                return self.engine.fractional_size(mask)
+            remaining = frozenset(graph.vertex_list())
+            if not remaining:
+                return 0
+            return self.fractional_cover_size(remaining)
         if self.engine is not None:
             if hasattr(graph, "present_mask"):
                 mask = graph.present_mask
@@ -172,15 +232,17 @@ class GhwSearchContext:
 
 def initial_ghw_bounds(
     hypergraph: Hypergraph, context: GhwSearchContext, ordering: list[Vertex]
-) -> int:
-    """Exact ``width(σ, H)`` of a heuristic ordering — the searches'
-    initial upper bound (achievable, hence sound)."""
+) -> Width:
+    """Exact ``width(σ, H)`` of a heuristic ordering under the context's
+    measure — the searches' initial upper bound (achievable, hence
+    sound).  An ``int`` for integral contexts, ``int | Fraction`` for
+    fractional ones."""
     from ..decomposition.elimination import elimination_bags
 
     bags = elimination_bags(hypergraph, ordering)
-    width = 0
+    width: Width = 0
     for bag in bags.values():
-        size = context.exact_cover_size(bag)
+        size = context.bag_cost(bag)
         if size > width:
             width = size
     return width

@@ -3,6 +3,11 @@ thesis' IP-solver replacement) and k-set-cover lower bounds (§8.1.1)."""
 
 from .bitcover import BitCoverEngine, CoverCache
 from .exact import exact_set_cover, set_cover_size
+from .fractional import (
+    enumerate_fractional_cover,
+    fractional_cover_masks,
+    fractional_set_cover,
+)
 from .greedy import SetCoverError, greedy_set_cover
 from .ksc import (
     UNCOVERABLE,
@@ -18,7 +23,10 @@ __all__ = [
     "SetCoverError",
     "UNCOVERABLE",
     "cover_lower_bound",
+    "enumerate_fractional_cover",
     "exact_set_cover",
+    "fractional_cover_masks",
+    "fractional_set_cover",
     "greedy_set_cover",
     "ksc_lower_bound",
     "ksc_overlap_lower_bound",

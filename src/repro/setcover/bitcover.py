@@ -41,9 +41,12 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Hashable, Iterable
+from fractions import Fraction
 
 from ..hypergraph.hypergraph import Hypergraph
 from ..telemetry import Metrics
+from ..widths import Width, as_width
+from .fractional import fractional_cover_masks
 from .greedy import SetCoverError
 
 # Dominance scans walk size-sorted cache entries and stop at the first
@@ -56,7 +59,7 @@ DOMINANCE_SCAN_CAP = 768
 class CoverCache:
     """Dominance-exploiting store of bag-cover sizes, keyed on masks.
 
-    Three layers, all mapping ``bag mask -> size``:
+    Four layers, all mapping ``bag mask -> size``:
 
     * ``exact`` — minimum cover cardinalities (the search's ``g`` costs);
     * ``greedy`` — the deterministic greedy algorithm's exact output
@@ -65,7 +68,9 @@ class CoverCache:
     * ``cover`` — the best *known valid* cover size per mask: greedy
       results, exact results (exact <= greedy seeds this layer), and
       dominance-derived values.  Sound wherever "size of some cover"
-      suffices (completion bounds), which is every caller except the GA.
+      suffices (completion bounds), which is every caller except the GA;
+    * ``fractional`` — exact fractional cover optima (``int`` or
+      ``Fraction``, never float) from the rational LP layer.
 
     Dominance rules (covers are monotone under inclusion):
 
@@ -73,23 +78,35 @@ class CoverCache:
     * a cached exact value of ``S ⊆ Q`` answers ``Q`` with a lower bound,
     * when the two meet, the exact value of ``Q`` is known without
       running any cover.
+
+    The fractional layer dominates by superset/subset exactly the same
+    way (a fractional cover of ``S`` restricts to one of any ``Q ⊆ S``),
+    and bounds *across* layers: any integral cover is a fractional cover
+    (fractional <= exact <= any ``cover`` entry), and conversely
+    ``ceil(fractional)`` is a sound floor for the exact layer.
     """
 
     __slots__ = (
-        "exact", "greedy", "cover", "_cover_by_size", "_exact_by_size",
+        "exact", "greedy", "cover", "fractional",
+        "_cover_by_size", "_exact_by_size", "_fractional_by_size",
         "c_exact_hit", "c_exact_dominance", "c_exact_computed",
         "c_upper_hit", "c_upper_dominance", "c_upper_computed",
         "c_greedy_hit", "c_greedy_computed", "c_seeded",
+        "c_frac_hit", "c_frac_dominance", "c_frac_computed",
         "c_inv_calls", "c_inv_exact", "c_inv_greedy", "c_inv_cover",
+        "c_inv_frac",
     )
 
     def __init__(self, metrics: Metrics | None = None):
         self.exact: dict[int, int] = {}
         self.greedy: dict[int, int] = {}
         self.cover: dict[int, int] = {}
+        # Fourth layer: exact fractional cover optima (int | Fraction).
+        self.fractional: dict[int, Width] = {}
         # (size, mask) sorted ascending by size — dominance scan orders.
         self._cover_by_size: list[tuple[int, int]] = []
         self._exact_by_size: list[tuple[int, int]] = []
+        self._fractional_by_size: list[tuple[Width, int]] = []
         registry = metrics if metrics is not None else Metrics()
         self.c_exact_hit = registry.counter("cover.exact.hit")
         self.c_exact_dominance = registry.counter("cover.exact.dominance")
@@ -100,10 +117,14 @@ class CoverCache:
         self.c_greedy_hit = registry.counter("cover.greedy.hit")
         self.c_greedy_computed = registry.counter("cover.greedy.computed")
         self.c_seeded = registry.counter("cover.upper.seeded_from_exact")
+        self.c_frac_hit = registry.counter("cover.fractional.hit")
+        self.c_frac_dominance = registry.counter("cover.fractional.dominance")
+        self.c_frac_computed = registry.counter("cover.fractional.computed")
         self.c_inv_calls = registry.counter("cache.invalidate.calls")
         self.c_inv_exact = registry.counter("cache.invalidate.exact")
         self.c_inv_greedy = registry.counter("cache.invalidate.greedy")
         self.c_inv_cover = registry.counter("cache.invalidate.cover")
+        self.c_inv_frac = registry.counter("cache.invalidate.fractional")
 
     # -- stores ---------------------------------------------------------
 
@@ -128,6 +149,12 @@ class CoverCache:
             self.cover[mask] = size
             _insort(self._cover_by_size, (size, mask))
 
+    def store_fractional(self, mask: int, value: Width) -> None:
+        """Record an exact fractional cover optimum (int | Fraction)."""
+        if mask not in self.fractional:
+            self.fractional[mask] = value
+            _insort(self._fractional_by_size, (value, mask))
+
     # -- targeted invalidation (the incremental re-solve API) -----------
 
     def invalidate_intersecting(self, touched_mask: int) -> int:
@@ -151,6 +178,7 @@ class CoverCache:
             (self.exact, self.c_inv_exact),
             (self.greedy, self.c_inv_greedy),
             (self.cover, self.c_inv_cover),
+            (self.fractional, self.c_inv_frac),
         ):
             stale = [mask for mask in layer if mask & touched_mask]
             for mask in stale:
@@ -163,6 +191,10 @@ class CoverCache:
         ]
         self._cover_by_size = [
             entry for entry in self._cover_by_size
+            if not entry[1] & touched_mask
+        ]
+        self._fractional_by_size = [
+            entry for entry in self._fractional_by_size
             if not entry[1] & touched_mask
         ]
         return dropped
@@ -193,6 +225,40 @@ class CoverCache:
         own lower bound (the scan stops once it cannot be beaten)."""
         scanned = 0
         for size, cached in reversed(self._exact_by_size):
+            if size <= floor:
+                return floor
+            scanned += 1
+            if scanned > DOMINANCE_SCAN_CAP:
+                return floor
+            if cached & ~mask == 0:
+                return size
+        return floor
+
+    def fractional_superset_bound(
+        self, mask: int, limit: Width | None = None
+    ) -> Width | None:
+        """The smallest cached fractional optimum of a superset of
+        ``mask`` — a restriction of that superset's cover covers
+        ``mask``, so it upper-bounds the query.  Ascending scan, same
+        contract as :meth:`superset_bound`."""
+        scanned = 0
+        for size, cached in self._fractional_by_size:
+            if limit is not None and size > limit:
+                return None
+            scanned += 1
+            if scanned > DOMINANCE_SCAN_CAP:
+                return None
+            if mask & ~cached == 0:
+                return size
+        return None
+
+    def fractional_subset_bound(self, mask: int, floor: Width) -> Width:
+        """The largest cached fractional optimum of a subset of ``mask``
+        — fractional covers are monotone under inclusion, so it
+        lower-bounds the query.  Descending scan, same contract as
+        :meth:`subset_bound`."""
+        scanned = 0
+        for size, cached in reversed(self._fractional_by_size):
             if size <= floor:
                 return floor
             scanned += 1
@@ -462,6 +528,11 @@ class BitCoverEngine:
         # Dominance: cached exact subsets raise the floor, cached covers
         # of supersets drop the ceiling; equality answers the query.
         floor = -(-bag_mask.bit_count() // self.max_edge_size)
+        fractional = cache.fractional.get(bag_mask)
+        if fractional is not None:
+            # Cross-layer: the integral optimum is at least the
+            # fractional one, rounded up.
+            floor = max(floor, math.ceil(fractional))
         ceiling = cache.superset_bound(bag_mask)
         if ceiling is not None:
             floor = cache.subset_bound(bag_mask, floor)
@@ -626,6 +697,103 @@ class BitCoverEngine:
             size = ceiling
             cache.store_cover(bag_mask, size)
         return size
+
+    # ------------------------------------------------------------------
+    # Fractional covers (the fhw LP layer)
+    # ------------------------------------------------------------------
+
+    def fractional_size(self, bag_mask: int) -> Width:
+        """Memoized exact fractional cover optimum of ``bag_mask``.
+
+        ``int`` or ``Fraction``, never float.  Answered through the
+        dominance cache when possible: fractional entries dominate by
+        superset/subset exactly like integral ones, and the integral
+        ``cover`` layer supplies cross-layer ceilings (every integral
+        cover is a fractional cover).  Only when floor and ceiling stay
+        apart does the rational simplex run.
+        """
+        cache = self.cache
+        value = cache.fractional.get(bag_mask)
+        if value is not None:
+            cache.c_frac_hit.inc()
+            return value
+        if not bag_mask:
+            return 0
+        # Floor: b vertices, every edge covers at most ``rank`` of them,
+        # so any fractional cover weighs at least b/rank.  Cached
+        # fractional subsets can only raise it.
+        floor: Width = as_width(
+            Fraction(bag_mask.bit_count(), self.max_edge_size)
+        )
+        ceiling = cache.fractional_superset_bound(bag_mask)
+        integral = cache.superset_bound(bag_mask)
+        if integral is not None and (ceiling is None or integral < ceiling):
+            ceiling = integral
+        if ceiling is not None:
+            floor = cache.fractional_subset_bound(bag_mask, floor)
+            if floor >= ceiling:
+                cache.c_frac_dominance.inc()
+                value = as_width(ceiling)
+                cache.store_fractional(bag_mask, value)
+                return value
+        value, _ = self._fractional_uncached(bag_mask)
+        cache.c_frac_computed.inc()
+        cache.store_fractional(bag_mask, value)
+        return value
+
+    def fractional_cover(
+        self, bag_mask: int
+    ) -> tuple[Width, dict[Hashable, Fraction]]:
+        """The optimum and an optimal weight map ``{edge name: weight}``
+        (support only) — the certificate payload for
+        :func:`repro.verify.check_fhd`.  Uncached on the weights side
+        (certificates are built once per bag, after the search)."""
+        if not bag_mask:
+            return 0, {}
+        value, weights = self._fractional_uncached(bag_mask)
+        self.cache.store_fractional(bag_mask, value)
+        return value, weights
+
+    def _fractional_uncached(
+        self, bag_mask: int
+    ) -> tuple[Width, dict[Hashable, Fraction]]:
+        """Run the reductions plus the rational simplex on ``bag_mask``.
+
+        The integral reductions of :meth:`_reduce` stay sound here: a
+        vertex with a unique covering edge forces weight >= 1 on it (and
+        exactly 1 at some optimum — extra weight helps no constraint
+        outside the already-satisfied edge), and a candidate whose
+        restriction is contained in another's can hand its weight to the
+        superset edge.
+        """
+        candidate_mask = self._candidate_edges(bag_mask)
+        edge_masks = self.edge_masks
+        candidates: list[tuple[int, int]] = []
+        m = candidate_mask
+        while m:
+            low = m & -m
+            m ^= low
+            e = low.bit_length() - 1
+            restricted = edge_masks[e] & bag_mask
+            if restricted:
+                candidates.append((e, restricted))
+        forced_edges, candidates, uncovered = self._reduce(
+            bag_mask, candidates
+        )
+        weights: dict[Hashable, Fraction] = {
+            self.edge_names[e]: Fraction(1) for e in forced_edges
+        }
+        value: Width = len(forced_edges)
+        if uncovered:
+            lp_value, lp_weights = fractional_cover_masks(
+                uncovered, [members for _, members in candidates]
+            )
+            value = as_width(value + lp_value)
+            for (e, _), weight in zip(candidates, lp_weights):
+                if weight > 0:
+                    name = self.edge_names[e]
+                    weights[name] = weights.get(name, Fraction(0)) + weight
+        return value, weights
 
     # ------------------------------------------------------------------
     # Ranks (satellite: remaining_rank as popcounts over edge masks)

@@ -27,6 +27,7 @@ Zero dependencies — stdlib ``json`` and ``time`` only.
 from __future__ import annotations
 
 import json
+from fractions import Fraction
 import time
 
 TRACE_VERSION = 1
@@ -186,12 +187,26 @@ class JsonlTracer(Tracer):
         self._handle = open(path, "w", encoding="utf-8")
 
     def emit(self, record: dict) -> None:
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=_encode_field)
+            + "\n"
+        )
 
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.flush()
             self._handle.close()
+
+
+def _encode_field(value):
+    """JSON fallback for non-native field values: exact rational widths
+    (``Fraction``) render as their ``"7/3"`` string — never a lossy
+    float — and anything else fails loudly as json.dumps would."""
+    if isinstance(value, Fraction):
+        return str(value)
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable"
+    )
 
 
 def write_jsonl(path, records) -> int:
@@ -200,7 +215,12 @@ def write_jsonl(path, records) -> int:
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.write(
+                json.dumps(
+                    record, separators=(",", ":"), default=_encode_field
+                )
+                + "\n"
+            )
             count += 1
     return count
 

@@ -11,6 +11,7 @@ from .certificate import (
     BAG_NOT_COVERED,
     DESCENDANT_CONDITION,
     EDGE_UNCOVERED,
+    FRACTIONAL_WEIGHT_INVALID,
     NOT_A_TREE,
     UNKNOWN_LAMBDA_EDGE,
     VERTEX_DISCONNECTED,
@@ -20,6 +21,7 @@ from .certificate import (
     Violation,
     certify,
     check_decomposition,
+    check_fhd,
     check_ghd,
     check_htd,
     check_td,
@@ -40,6 +42,7 @@ __all__ = [
     "BAG_NOT_COVERED",
     "DESCENDANT_CONDITION",
     "EDGE_UNCOVERED",
+    "FRACTIONAL_WEIGHT_INVALID",
     "FAULTS",
     "FuzzConfig",
     "FuzzFailure",
@@ -53,6 +56,7 @@ __all__ = [
     "Violation",
     "certify",
     "check_decomposition",
+    "check_fhd",
     "check_ghd",
     "check_htd",
     "check_td",

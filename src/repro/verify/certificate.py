@@ -16,6 +16,10 @@ the single source of truth for all of those checks:
   bag-cover condition, with optional width accounting.
 * :func:`check_htd` — :func:`check_ghd` plus the rooted descendant
   condition ``vars(λ(p)) ∩ χ(T_p) ⊆ χ(p)``.
+* :func:`check_fhd` — :func:`check_td` plus γ-weight sanity (exact
+  non-negative rationals over known hyperedges), per-vertex fractional
+  coverage ≥ 1, and — against a width claim — an independent per-bag LP
+  re-solve that bounds any achievable γ from below.
 
 Checkers return lists of :class:`Violation` — structured objects with a
 machine-readable ``kind``, the witnessing nodes/vertices/edges, and the
@@ -28,8 +32,11 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 
+from fractions import Fraction
+
 from ..hypergraph.graph import Graph
 from ..hypergraph.hypergraph import Hypergraph
+from ..widths import Width, as_width, format_width
 
 # ----------------------------------------------------------------------
 # Violation kinds (machine-readable; messages stay human-readable)
@@ -42,6 +49,7 @@ VERTEX_DISCONNECTED = "vertex-disconnected"
 UNKNOWN_LAMBDA_EDGE = "unknown-lambda-edge"
 BAG_NOT_COVERED = "bag-not-covered"
 DESCENDANT_CONDITION = "descendant-condition"
+FRACTIONAL_WEIGHT_INVALID = "fractional-weight-invalid"
 WIDTH_OVERCLAIM = "width-overclaim"
 
 ALL_KINDS = frozenset({
@@ -52,6 +60,7 @@ ALL_KINDS = frozenset({
     UNKNOWN_LAMBDA_EDGE,
     BAG_NOT_COVERED,
     DESCENDANT_CONDITION,
+    FRACTIONAL_WEIGHT_INVALID,
     WIDTH_OVERCLAIM,
 })
 
@@ -86,8 +95,8 @@ class Certificate:
     every violation found.  ``valid`` means the structural conditions
     hold; ``ok`` additionally requires the width claim to be honest."""
 
-    claimed_width: int | None
-    measured_width: int
+    claimed_width: Width | None
+    measured_width: Width
     violations: list[Violation] = field(default_factory=list)
 
     @property
@@ -262,6 +271,144 @@ def _descendant_violations(htd, hypergraph: Hypergraph, root) -> list[Violation]
 
 
 # ----------------------------------------------------------------------
+# Fractional hypertree decompositions
+# ----------------------------------------------------------------------
+
+
+def check_fhd(
+    fhd, hypergraph: Hypergraph, claimed_width: Width | None = None
+) -> list[Violation]:
+    """Tree-decomposition violations plus the FHD conditions.
+
+    Per node: every γ-weighted name is a real hyperedge, every weight is
+    an exact non-negative rational (``int`` or ``Fraction`` — a float
+    weight is flagged, never coerced), and every bag vertex is covered
+    with total weight at least 1.  With ``claimed_width`` two honesty
+    checks run: the measured γ-width (``max Σγ``) may not exceed the
+    claim, and — independently of the supplied weights — the exact cover
+    LP is re-solved per bag, so a claim below some bag's ρ* is an
+    overclaim even when the weights themselves were doctored to look
+    small.
+    """
+    if not isinstance(hypergraph, Hypergraph):
+        raise TypeError("FHD validation requires a Hypergraph")
+    problems = check_td(fhd, hypergraph)
+    edges = hypergraph.edges
+    for node, gamma in fhd.weight_functions.items():
+        unknown = [name for name in gamma if name not in edges]
+        if unknown:
+            problems.append(
+                Violation(
+                    UNKNOWN_LAMBDA_EDGE,
+                    f"node {node!r} weights unknown hyperedges {unknown!r}",
+                    nodes=(node,),
+                    edges=tuple(unknown),
+                )
+            )
+            continue
+        bad = sorted(
+            (
+                name
+                for name, weight in gamma.items()
+                if isinstance(weight, bool)
+                or not isinstance(weight, (int, Fraction))
+                or weight < 0
+            ),
+            key=repr,
+        )
+        if bad:
+            problems.append(
+                Violation(
+                    FRACTIONAL_WEIGHT_INVALID,
+                    f"node {node!r}: weights for edges "
+                    f"{sorted(map(repr, bad))} are not non-negative exact "
+                    "rationals",
+                    nodes=(node,),
+                    edges=tuple(bad),
+                )
+            )
+            continue
+        uncovered = [
+            vertex
+            for vertex in fhd.bag(node)
+            if sum(
+                (gamma[name] for name in gamma if vertex in edges[name]),
+                Fraction(0),
+            ) < 1
+        ]
+        if uncovered:
+            problems.append(
+                Violation(
+                    BAG_NOT_COVERED,
+                    f"node {node!r}: bag vertices "
+                    f"{sorted(map(repr, uncovered))} have fractional "
+                    "coverage below 1",
+                    nodes=(node,),
+                    vertices=tuple(sorted(uncovered, key=repr)),
+                    edges=tuple(sorted(gamma, key=repr)),
+                )
+            )
+    if claimed_width is not None:
+        claimed = as_width(claimed_width)
+        measured = _fhw_measure(fhd)
+        if measured > claimed:
+            problems.append(_width_overclaim("γ", claimed, measured))
+        else:
+            problems.extend(_fhd_resolve_violations(fhd, hypergraph, claimed))
+    return problems
+
+
+def _fhw_measure(fhd) -> Width:
+    """``max Σγ`` over nodes, skipping entries already flagged as
+    non-rational so one bad weight cannot crash the width accounting."""
+    best = Fraction(0)
+    for gamma in fhd.weight_functions.values():
+        total = Fraction(0)
+        for weight in gamma.values():
+            if isinstance(weight, bool) or not isinstance(
+                weight, (int, Fraction)
+            ):
+                break
+            total += weight
+        else:
+            if total > best:
+                best = total
+    return as_width(best)
+
+
+def _fhd_resolve_violations(fhd, hypergraph, claimed) -> list[Violation]:
+    """The untrusting half of the width check: re-solve the cover LP per
+    bag.  ρ*(χ(p)) lower-bounds *any* feasible γ_p, so a claim below it
+    is an overclaim no matter what weights the certificate carries."""
+    from ..setcover.fractional import fractional_set_cover
+    from ..setcover.greedy import SetCoverError
+
+    problems: list[Violation] = []
+    checked: set[frozenset] = set()
+    for node in fhd.nodes:
+        bag = fhd.bag(node)
+        if bag in checked:
+            continue
+        checked.add(bag)
+        try:
+            lp_value, _weights = fractional_set_cover(bag, hypergraph)
+        except SetCoverError:
+            continue  # uncoverable bag — the coverage checks flag it
+        if lp_value > claimed:
+            problems.append(
+                Violation(
+                    WIDTH_OVERCLAIM,
+                    f"claimed γ-width {format_width(claimed)} but node "
+                    f"{node!r}'s bag re-solves to "
+                    f"ρ* = {format_width(as_width(lp_value))}",
+                    nodes=(node,),
+                )
+            )
+            break
+    return problems
+
+
+# ----------------------------------------------------------------------
 # Dispatch + certificates
 # ----------------------------------------------------------------------
 
@@ -272,11 +419,14 @@ def check_decomposition(
 ) -> list[Violation]:
     """Run the strictest checker the decomposition's type supports.
 
-    Dispatches on duck type: anything with a λ-label surface
-    (``covers``) is checked as a GHD, anything that additionally roots
+    Dispatches on duck type: anything with a γ-weight surface
+    (``weight_functions``) is checked as an FHD, anything with a λ-label
+    surface (``covers``) as a GHD, anything that additionally roots
     itself (``effective_root``) as an HTD, and everything else as a
     plain tree decomposition.
     """
+    if hasattr(decomposition, "weight_functions"):
+        return check_fhd(decomposition, structure, claimed_width=claimed_width)
     if hasattr(decomposition, "effective_root"):
         return check_htd(decomposition, structure, claimed_width=claimed_width)
     if hasattr(decomposition, "covers"):
@@ -286,14 +436,15 @@ def check_decomposition(
 
 def certify(
     decomposition, structure: Graph | Hypergraph,
-    claimed_width: int | None = None,
+    claimed_width: Width | None = None,
 ) -> Certificate:
     """Bundle :func:`check_decomposition` with the width accounting."""
-    measured = (
-        decomposition.ghw_width
-        if hasattr(decomposition, "covers")
-        else decomposition.width
-    )
+    if hasattr(decomposition, "weight_functions"):
+        measured = decomposition.fhw_width
+    elif hasattr(decomposition, "covers"):
+        measured = decomposition.ghw_width
+    else:
+        measured = decomposition.width
     return Certificate(
         claimed_width=claimed_width,
         measured_width=measured,
@@ -308,11 +459,11 @@ def certify(
 # ----------------------------------------------------------------------
 
 
-def _width_overclaim(measure: str, claimed: int, measured: int) -> Violation:
+def _width_overclaim(measure: str, claimed: Width, measured: Width) -> Violation:
     return Violation(
         WIDTH_OVERCLAIM,
-        f"claimed {measure}-width {claimed} but the decomposition "
-        f"measures {measured}",
+        f"claimed {measure}-width {format_width(claimed)} but the "
+        f"decomposition measures {format_width(measured)}",
     )
 
 

@@ -5,10 +5,11 @@ One fuzz case draws a random instance from
 cross-examines everything they claim:
 
 * **Differential pairs** — A*-tw on the set and bit kernels, BB-tw,
-  BB-ghw on the set and bit cover engines and A*-ghw must agree; on
-  tiny instances they must also match the brute-force oracles; the
-  deterministic portfolio (optional, it spawns processes) must match
-  the exact width.
+  BB-ghw on the set and bit cover engines and A*-ghw must agree; A*-fhw
+  on the bit and set cover paths must agree and respect the invariant
+  chain ``fhw ≤ ghw ≤ tw + 1``; on tiny instances they must also match
+  the brute-force oracles; the deterministic portfolio (optional, it
+  spawns processes) must match the exact width.
 * **Bound soundness** — GA and min-fill upper bounds may be loose but
   never undercut the exact width; proven lower bounds never exceed
   upper bounds; the det-k-decomp hypertree width never drops below ghw.
@@ -34,13 +35,16 @@ Everything is a pure function of ``FuzzConfig.seed``.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import random
 import time
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from ..bounds import min_fill_ordering
 from ..decomposition import (
+    fhd_from_ordering,
     ghd_from_ordering,
     ordering_width,
     td_from_ordering,
@@ -55,16 +59,18 @@ from ..hypergraph.generators import (
     random_hypergraph,
 )
 from ..search import (
+    astar_fhw,
     astar_ghw,
     astar_treewidth,
     branch_and_bound_ghw,
     branch_and_bound_treewidth,
+    brute_force_fhw,
     brute_force_ghw,
     brute_force_treewidth,
 )
 from ..setcover.exact import exact_set_cover
 from ..telemetry import NULL_TRACER, Metrics
-from .certificate import check_ghd, check_htd, check_td
+from .certificate import check_fhd, check_ghd, check_htd, check_td
 
 REPLAY_VERSION = 1
 
@@ -84,6 +90,10 @@ FAULTS: dict[str, str] = {
     "ga-undercut": "the GA reports a fitness below the exact width",
     "descendant-leak": "an HTD λ-label reintroduces vertices its subtree "
     "dropped (descendant condition)",
+    "fhw-round": "the fhw searches floor a rational width to an integer "
+    "instead of staying exact",
+    "fhw-integral-cache": "the bit-engine fhw path answers a fractional "
+    "query with the integral cover size",
 }
 
 
@@ -101,6 +111,7 @@ class FuzzConfig:
     shrink: bool = True
     ga_every: int = 2  # GA bound check on every Nth case (0 = never)
     hw_every: int = 4  # det-k-decomp check on every Nth hypergraph case
+    fhw_every: int = 4  # fhw differential/chain check cadence (0 = never)
     portfolio_every: int = 0  # deterministic-portfolio check cadence (0 = off)
     metrics: Metrics | None = None
     tracer: object = NULL_TRACER
@@ -252,6 +263,19 @@ class _FaultInjector:
             result.lower_bound = result.upper_bound + 1
             result.exact = False
             self.applied += 1
+        elif self.fault == "fhw-round" and role.startswith("fhw"):
+            # A Fraction bound is necessarily non-integral (as_width
+            # collapses integral rationals to int), so flooring it
+            # always understates the width.
+            if isinstance(result.upper_bound, Fraction):
+                result.upper_bound = int(result.upper_bound)
+                if result.lower_bound > result.upper_bound:
+                    result.lower_bound = result.upper_bound
+                self.applied += 1
+        elif self.fault == "fhw-integral-cache" and role == "fhw-bit":
+            if isinstance(result.upper_bound, Fraction):
+                result.upper_bound = math.ceil(result.upper_bound)
+                self.applied += 1
 
     def ga(self, fitness: int, exact_width: int) -> int:
         """Corrupt a GA fitness claim."""
@@ -493,6 +517,91 @@ def _check_hypergraph(h: Hypergraph, case_seed: int, index: int,
             findings.extend(_check_detk(h, exact))
         if config.portfolio_every and index % config.portfolio_every == 0:
             findings.extend(_check_portfolio(h, "ghw", exact))
+    if config.fhw_every and index % config.fhw_every == 0:
+        findings.extend(_check_fhw(h, fault, exact))
+    return findings
+
+
+def _check_fhw(h: Hypergraph, fault: "_FaultInjector",
+               exact_ghw: int | None) -> list[_Finding]:
+    """The fhw leg: bit/set differential, brute-force oracle, the
+    invariant chain ``fhw ≤ ghw ≤ tw + 1``, and FHD certificates.
+
+    The reverse inequality ``ghw = O(fhw · log n)`` (Marx) is real but
+    deliberately *not* asserted: its constant is not pinned down by the
+    theorem, so any concrete threshold would be an invented invariant
+    that either never fires or flags correct solvers.
+    """
+    try:
+        results = {
+            "fhw-bit": astar_fhw(h.copy(), cover="bit"),
+            "fhw-set": astar_fhw(h.copy(), cover="set"),
+        }
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
+        return [_Finding("solver-exception",
+                         f"fhw: {type(exc).__name__}: {exc}")]
+    fault.result(results["fhw-bit"], "fhw-bit")
+    fault.result(results["fhw-set"], "fhw-set")
+    findings: list[_Finding] = []
+    for role, result in results.items():
+        for side, bound in (("lower", result.lower_bound),
+                            ("upper", result.upper_bound)):
+            if isinstance(bound, float):
+                findings.append(_Finding(
+                    "fhw-float",
+                    f"{role} reports a float {side} bound {bound!r}; fhw "
+                    "bounds must be exact rationals",
+                ))
+        if result.lower_bound > result.upper_bound:
+            findings.append(_Finding(
+                "bounds-inconsistent",
+                f"{role}: lower bound {result.lower_bound} exceeds upper "
+                f"bound {result.upper_bound}",
+            ))
+    exact_widths = {
+        role: r.upper_bound for role, r in results.items() if r.exact
+    }
+    if len(set(exact_widths.values())) > 1:
+        findings.append(_Finding(
+            "fhw-differential",
+            f"exact fhw solvers disagree: {sorted(exact_widths.items())}",
+        ))
+    if exact_widths and h.num_vertices <= 6:
+        oracle = brute_force_fhw(h.copy())
+        wrong = {r: w for r, w in exact_widths.items() if w != oracle}
+        if wrong:
+            findings.append(_Finding(
+                "fhw-oracle",
+                f"brute force says {oracle}, solvers said "
+                f"{sorted(wrong.items())}",
+            ))
+    if exact_widths:
+        fhw = min(exact_widths.values())
+        if exact_ghw is not None and fhw > exact_ghw:
+            findings.append(_Finding(
+                "width-chain",
+                f"fhw {fhw} exceeds ghw {exact_ghw}",
+            ))
+        if exact_ghw is not None:
+            tw_result = astar_treewidth(h.primal_graph())
+            if tw_result.exact and exact_ghw > tw_result.upper_bound + 1:
+                findings.append(_Finding(
+                    "width-chain",
+                    f"ghw {exact_ghw} exceeds tw + 1 = "
+                    f"{tw_result.upper_bound + 1}",
+                ))
+    for role, result in results.items():
+        if result.ordering is None:
+            continue
+        fhd = fhd_from_ordering(h, result.ordering)
+        fault.decomposition(fhd)
+        problems = check_fhd(fhd, h, claimed_width=result.upper_bound)
+        if problems:
+            findings.append(_Finding(
+                "fhd-certificate",
+                f"{role} witness ordering builds an invalid FHD",
+                [str(p) for p in problems],
+            ))
     return findings
 
 
@@ -769,6 +878,7 @@ def run_replay(path, fault: str | None = KEEP_STORED_FAULT) -> FuzzReport:
         shrink=False,
         ga_every=1,
         hw_every=1,
+        fhw_every=1,
     )
     metrics = Metrics()
     started = time.monotonic()

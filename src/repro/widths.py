@@ -1,0 +1,59 @@
+"""Width-value helpers: widths are ``int`` or ``Fraction``, never float.
+
+Treewidth and ghw are integers; fhw is a rational (the optimum of a
+rational LP is rational).  Floats must never appear as widths — a float
+that *looks* like 7/3 compares unequal to ``Fraction(7, 3)`` and silently
+poisons every bound comparison downstream.  These helpers centralise the
+three operations the rest of the package needs:
+
+* :func:`as_width` — normalise a value to the canonical width type
+  (``Fraction`` with denominator 1 collapses to ``int``) and reject
+  floats loudly.
+* :func:`width_ratio` — encode a width as an ``(numerator, denominator)``
+  pair of ints for the portfolio's shared-memory bound channel.
+* :func:`format_width` — render ``3`` as ``"3"`` and ``Fraction(7, 3)``
+  as ``"7/3"`` for CLI output, summaries and trace records.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+Width = int | Fraction
+
+
+def as_width(value: Width) -> Width:
+    """Normalise ``value`` to the canonical width type.
+
+    Integral ``Fraction``s collapse to ``int`` (so ``ghw`` results keep
+    comparing/formatting exactly as before fhw existed); floats raise —
+    they are always a bug in width arithmetic.
+    """
+    if isinstance(value, bool) or isinstance(value, float):
+        raise TypeError(f"widths must be int or Fraction, not {value!r}")
+    if isinstance(value, Fraction):
+        return int(value) if value.denominator == 1 else value
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"widths must be int or Fraction, not {value!r}")
+
+
+def width_ratio(value: Width) -> tuple[int, int]:
+    """``value`` as an ``(numerator, denominator)`` int pair, den >= 1."""
+    value = as_width(value)
+    if isinstance(value, int):
+        return value, 1
+    return value.numerator, value.denominator
+
+
+def from_ratio(numerator: int, denominator: int) -> Width:
+    """Inverse of :func:`width_ratio`."""
+    if denominator == 1:
+        return numerator
+    return as_width(Fraction(numerator, denominator))
+
+
+def format_width(value: Width) -> str:
+    """Render a width for humans: ``"3"`` or ``"7/3"`` — never ``1.5``."""
+    value = as_width(value)
+    return str(value)

@@ -27,6 +27,8 @@ _FAULT_SETUP = {
     "drop-lambda-edge": {"families": ("hyper", "circuit")},
     "descendant-leak": {"families": ("hyper", "circuit")},
     "ga-undercut": {"ga_every": 1},
+    "fhw-round": {"families": ("hyper", "circuit"), "fhw_every": 1},
+    "fhw-integral-cache": {"families": ("hyper", "circuit"), "fhw_every": 1},
 }
 
 # Acceptance bar from the issue: every shrunk counterexample stays tiny.

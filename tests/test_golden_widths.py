@@ -9,10 +9,13 @@ ghw 2, a 2d grid has ghw 2, K_n has ghw ceil(n/2) since every bag must
 cover a near-half clique with binary edges).
 """
 
+from fractions import Fraction
+
 import pytest
 
 from repro.instances import get_instance
 from repro.search import (
+    astar_fhw,
     astar_ghw,
     branch_and_bound_ghw,
     branch_and_bound_treewidth,
@@ -28,11 +31,26 @@ GOLDEN_GHWS = {
     "adder_5": 2,
     "adder_10": 2,
     "adder_15": 2,
+    "clique_3": 2,   # ceil(3/2)
+    "clique_5": 3,   # ceil(5/2)
     "clique_6": 3,   # ceil(6/2)
     "clique_8": 4,   # ceil(8/2)
     "clique_10": 5,  # ceil(10/2)
     "grid2d_4": 2,
     "bridge_5": 2,
+    "fano": 3,       # two lines cover at most 5 of the 7 points
+}
+
+# Hand-verified fractional hypertree widths.  fhw(K_n over binary
+# edges) = n/2: weight 1/(n-1) on every edge covers each vertex with
+# total (n-1)/(n-1) = 1 at cost C(n,2)/(n-1) = n/2, and the LP dual
+# y_v = 1/2 everywhere proves the matching bound.  The Fano plane's
+# uniform-1/3 cover over its 7 lines costs 7/3, with dual y_v = 1/3.
+GOLDEN_FHWS = {
+    "clique_3": Fraction(3, 2),
+    "clique_5": Fraction(5, 2),
+    "clique_6": 3,
+    "fano": Fraction(7, 3),
 }
 
 
@@ -99,3 +117,49 @@ def test_clique_ghw_formula(n, expected):
     # closed form rather than trusting two copies of the same table.
     assert expected == -(-n // 2)
     assert GOLDEN_GHWS[f"clique_{n}"] == expected
+
+
+@pytest.mark.parametrize("name,width", sorted(GOLDEN_FHWS.items()))
+def test_golden_fhw(name, width):
+    result = astar_fhw(get_instance(name).build())
+    assert result.exact, f"{name}: search did not close the gap"
+    assert result.width == width
+    assert not isinstance(result.width, float)
+
+
+@pytest.mark.parametrize("name,width", sorted(GOLDEN_FHWS.items()))
+def test_golden_fhw_engine_differential(name, width):
+    hypergraph = get_instance(name).build()
+    r_set = astar_fhw(hypergraph, cover="set")
+    r_bit = astar_fhw(hypergraph, cover="bit")
+    assert r_set.exact and r_bit.exact
+    assert r_set.width == r_bit.width == width
+
+
+@pytest.mark.parametrize("name", ["clique_3", "clique_5", "fano"])
+def test_fhw_strictly_below_ghw(name):
+    """The fractional relaxation must actually buy something on the
+    known separators — fhw < ghw strictly, not just ≤."""
+    assert GOLDEN_FHWS[name] < GOLDEN_GHWS[name]
+    result = astar_fhw(get_instance(name).build())
+    assert result.exact
+    assert result.width < GOLDEN_GHWS[name]
+
+
+@pytest.mark.parametrize("name,width", sorted(GOLDEN_FHWS.items()))
+def test_golden_fhw_matches_lp_enumeration(name, width):
+    """Every bag of the witness FHD re-solves (by exhaustive vertex
+    enumeration of the LP polytope, no simplex involved) to at most the
+    golden width — and some bag meets it exactly."""
+    from repro.decomposition import fhd_from_ordering
+    from repro.setcover import enumerate_fractional_cover
+
+    hypergraph = get_instance(name).build()
+    result = astar_fhw(hypergraph)
+    assert result.exact
+    fhd = fhd_from_ordering(hypergraph, result.ordering)
+    values = [
+        enumerate_fractional_cover(fhd.bag(node), hypergraph)
+        for node in fhd.nodes
+    ]
+    assert max(values) == width

@@ -21,6 +21,7 @@ from hypothesis import given, settings, strategies as st
 from tests.conftest import make_covered_hypergraph, random_graphs
 from repro.hypergraph import Graph, Hypergraph
 from repro.search import (
+    astar_fhw,
     astar_ghw,
     astar_treewidth,
     branch_and_bound_treewidth,
@@ -36,6 +37,13 @@ def exact_tw(graph) -> int:
 def exact_ghw(hypergraph) -> int:
     result = astar_ghw(hypergraph)
     assert result.exact
+    return result.upper_bound
+
+
+def exact_fhw(hypergraph):
+    result = astar_fhw(hypergraph)
+    assert result.exact
+    assert not isinstance(result.upper_bound, float)
     return result.upper_bound
 
 
@@ -207,3 +215,66 @@ class TestGhwMonotonicity:
             assert exact_ghw(smaller) <= ghw, (seed, subedge)
             checked += 1
         assert checked >= 2  # the relation was actually exercised
+
+
+# ----------------------------------------------------------------------
+# fhw
+# ----------------------------------------------------------------------
+
+class TestFhwInvariance:
+    def test_invariant_under_relabeling(self):
+        # ρ* of a bag depends only on the incidence structure, so fhw
+        # must survive fresh labels and shuffled insertion order — and
+        # the rational value must match exactly, not just its ceiling.
+        for seed in range(4):
+            h = make_covered_hypergraph(6, 5, seed=seed + 400)
+            assert exact_fhw(relabeled_hypergraph(h, seed)) == exact_fhw(h)
+
+
+class TestFhwMonotonicity:
+    def test_monotone_under_vertex_deletion(self):
+        # fhw(H[V - v]) <= fhw(H): restrict every bag of an optimal FHD
+        # and keep its weight functions (coverage only loses rows).
+        for seed in range(4):
+            h = make_covered_hypergraph(6, 5, seed=seed + 500)
+            fhw = exact_fhw(h)
+            for victim in h.vertex_list()[:3]:
+                smaller = h.copy()
+                smaller.remove_vertex(victim)
+                if smaller.num_vertices == 0 or smaller.isolated_vertices():
+                    continue
+                assert exact_fhw(smaller) <= fhw, (seed, victim)
+
+    def test_monotone_under_subedge_deletion(self):
+        # Deleting an edge contained in another cannot raise fhw: shift
+        # the subedge's weight onto its superset and coverage survives.
+        checked = 0
+        for seed in range(12):
+            h = make_covered_hypergraph(6, 6, seed=seed + 600)
+            edges = h.edges
+            subedge = next(
+                (
+                    name
+                    for name, members in edges.items()
+                    for other, bigger in edges.items()
+                    if other != name and members <= bigger
+                ),
+                None,
+            )
+            if subedge is None:
+                continue
+            fhw = exact_fhw(h)
+            smaller = h.copy()
+            smaller.remove_edge(subedge)
+            if smaller.isolated_vertices():
+                continue
+            assert exact_fhw(smaller) <= fhw, (seed, subedge)
+            checked += 1
+        assert checked >= 2  # the relation was actually exercised
+
+    def test_fhw_at_most_ghw(self):
+        # The relaxation direction of the invariant chain, on the same
+        # generator the ghw metamorphic tests use.
+        for seed in range(6):
+            h = make_covered_hypergraph(6, 5, seed=seed + 700)
+            assert exact_fhw(h) <= exact_ghw(h)
