@@ -1,0 +1,209 @@
+"""Service load generator: cache hit rate and hit latency under an
+isomorphic-resubmission workload.
+
+The workload models the service's intended deployment: a query
+optimizer resubmitting the *same* join hypergraphs under fresh variable
+names (new query, same shape).  Each base instance is submitted once
+cold, then ``resubmits`` more times as random isomorphic relabelings —
+every relabeling must land on the cold submission's cache entry via the
+canonical hash, so the hit rate has a closed-form floor of
+``1 - bases/total``.
+
+Gates:
+
+* **hit rate >= 90%** — hard at every scale (it measures correctness of
+  the canonical hash + cache, not machine speed).
+* **cache-hit p99 latency <= budget** — enforced at
+  ``REPRO_BENCH_SCALE >= 0.25``, report-only below (CI smoke boxes are
+  noisy; the hit path is pure canonicalization + dict lookup).
+* **deadline probe** — one request with a near-zero budget must come
+  back ``ok`` or ``bracket``; never an exception, never a traceback on
+  the wire.
+
+Results go to ``benchmarks/results/service.{txt,json}``.  Runs
+standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import sys
+import time
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    fano_plane_hypergraph,
+    random_gnm_graph,
+    random_hypergraph,
+)
+from repro.service import DecompositionService, ServiceClient, ServiceConfig
+
+from _harness import METRICS, bench_seed, report, scale
+
+HIT_RATE_TARGET = 0.90
+HIT_P99_BUDGET_MS = 50.0
+
+
+def _config() -> dict:
+    if scale() >= 0.25:
+        return {"resubmits": 24, "gnm": (12, 20), "rand": (9, 11),
+                "budget": 20.0}
+    return {"resubmits": 19, "gnm": (9, 14), "rand": (7, 9),
+            "budget": 6.0}
+
+
+def _relabeled(hypergraph: Hypergraph, rng: random.Random) -> Hypergraph:
+    vertices = hypergraph.vertex_list()
+    fresh = [f"v{rng.randrange(10**9)}_{i}" for i in range(len(vertices))]
+    mapping = dict(zip(vertices, fresh))
+    edges = list(hypergraph.edges.values())
+    rng.shuffle(edges)
+    copy = Hypergraph()
+    for i, members in enumerate(edges):
+        copy.add_edge([mapping[v] for v in members], name=f"e{i}")
+    for v in vertices:
+        copy.add_vertex(mapping[v])
+    return copy
+
+
+def _bases(config: dict) -> list[tuple[str, str, Hypergraph]]:
+    n, m = config["gnm"]
+    rn, rm = config["rand"]
+    return [
+        ("fano/ghw", "ghw", fano_plane_hypergraph()),
+        ("gnm/tw", "tw",
+         Hypergraph.from_graph(random_gnm_graph(n, m, seed=bench_seed()))),
+        ("rand/tw", "tw",
+         random_hypergraph(rn, rm, seed=bench_seed() + 1)),
+    ]
+
+
+async def _drive(config: dict) -> tuple[list[list], dict]:
+    rng = random.Random(bench_seed())
+    service = DecompositionService(ServiceConfig(
+        port=0, default_budget=config["budget"],
+        max_budget=max(60.0, config["budget"]),
+    ))
+    await service.start()
+    client = await ServiceClient.connect(port=service.port)
+
+    rows: list[list] = []
+    hit_ms: list[float] = []
+    total = 0
+    hits = 0
+    for label, metric, base in _bases(config):
+        per_base_hit_ms: list[float] = []
+        miss_ms = None
+        width = None
+        for i in range(1 + config["resubmits"]):
+            instance = base if i == 0 else _relabeled(base, rng)
+            start = time.perf_counter()
+            response = await client.solve(instance, metric)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            assert response["status"] in ("ok", "bracket"), response
+            assert "Traceback" not in json.dumps(response), response
+            total += 1
+            if i == 0:
+                miss_ms = elapsed_ms
+                width = response["width"]
+            else:
+                assert response["cache"] == "hit", response
+                assert response["width"] == width, response
+                hits += 1
+                per_base_hit_ms.append(elapsed_ms)
+                hit_ms.append(elapsed_ms)
+                METRICS.histogram("service.hit_ms").observe(elapsed_ms)
+        rows.append([
+            label, base.num_vertices, base.num_edges, width,
+            miss_ms, _pct(per_base_hit_ms, 50), _pct(per_base_hit_ms, 99),
+        ])
+
+    # Deadline probe: a near-zero budget must degrade, not explode.
+    probe = Hypergraph.from_graph(
+        random_gnm_graph(30, 90, seed=bench_seed() + 7)
+    )
+    probe_response = await client.solve(probe, "tw", budget=0.05)
+    assert probe_response["status"] in ("ok", "bracket"), probe_response
+    assert "Traceback" not in json.dumps(probe_response), probe_response
+
+    stats = await client.stats()
+    await client.close()
+    await service.close()
+
+    extra = {
+        "total_requests": total,
+        "hits": hits,
+        "hit_rate": hits / total,
+        "hit_rate_target": HIT_RATE_TARGET,
+        "hit_p50_ms": _pct(hit_ms, 50),
+        "hit_p99_ms": _pct(hit_ms, 99),
+        "hit_p99_budget_ms": HIT_P99_BUDGET_MS,
+        "deadline_probe_status": probe_response["status"],
+        "server_stats": {
+            "cache": stats["cache"], "solves": stats["solves"],
+            "coalesced": stats["coalesced"], "errors": stats["errors"],
+        },
+        "latency_gate_enforced": scale() >= 0.25,
+    }
+    return rows, extra
+
+
+def _pct(values: list[float], p: int) -> float | None:
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1)))]
+
+
+def run_service_benchmark() -> tuple[list[list], dict]:
+    return asyncio.run(_drive(_config()))
+
+
+def _report(rows: list[list], extra: dict) -> None:
+    report(
+        "service",
+        "Decomposition service — isomorphic-resubmission workload",
+        ["workload", "n", "m", "width", "miss ms", "hit p50 ms",
+         "hit p99 ms"],
+        rows,
+        extra=extra,
+    )
+    gate = (
+        "enforced" if extra["latency_gate_enforced"]
+        else "report-only at this scale"
+    )
+    print(
+        f"hit rate {extra['hit_rate']:.1%} over {extra['total_requests']} "
+        f"requests (target >= {HIT_RATE_TARGET:.0%}, hard); "
+        f"hit p99 {extra['hit_p99_ms']:.2f}ms "
+        f"(budget {HIT_P99_BUDGET_MS:.0f}ms, {gate}); "
+        f"deadline probe: {extra['deadline_probe_status']}"
+    )
+
+
+def _gate_ok(extra: dict) -> bool:
+    if extra["hit_rate"] < HIT_RATE_TARGET:
+        return False
+    if extra["latency_gate_enforced"]:
+        return extra["hit_p99_ms"] <= HIT_P99_BUDGET_MS
+    return True
+
+
+def test_service_hit_rate(benchmark):
+    rows, extra = benchmark.pedantic(
+        run_service_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, extra)
+    assert extra["hit_rate"] >= HIT_RATE_TARGET
+    if extra["latency_gate_enforced"]:
+        assert extra["hit_p99_ms"] <= HIT_P99_BUDGET_MS
+
+
+if __name__ == "__main__":
+    bench_rows, bench_extra = run_service_benchmark()
+    _report(bench_rows, bench_extra)
+    sys.exit(0 if _gate_ok(bench_extra) else 1)

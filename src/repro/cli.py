@@ -9,6 +9,7 @@ Usage::
     python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
     python -m repro fuzz [--seed N] [--cases N] [--replay FILE]
+    python -m repro serve [--port N] [--cache-size N] [--budget S]
     python -m repro instances [--kind graph|hypergraph]
 
 Solver failures exit with code 1 and a one-line ``error: ...`` on
@@ -372,6 +373,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache_size,
+        max_concurrent_solves=args.concurrency,
+        default_budget=args.budget,
+        max_budget=args.max_budget,
+        portfolio_jobs=args.jobs,
+        seed=args.seed,
+    )
+    tracer = _make_tracer(args)
+
+    def ready(service) -> None:
+        print(
+            f"repro service listening on {config.host}:{service.port} "
+            f"(cache {config.cache_capacity}, "
+            f"{config.max_concurrent_solves} concurrent solves, "
+            f"default budget {config.default_budget:g}s)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_service(config, tracer=tracer, ready=ready))
+    finally:
+        tracer.close()
+    return 0
+
+
 def cmd_decompose(args: argparse.Namespace) -> int:
     structure = load_structure(args.instance)
     ordering = min_fill_ordering(structure)
@@ -502,6 +536,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="print the run's fuzz counters")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the decomposition service (JSONL over TCP, "
+        "canonical-hash result cache in front of the portfolio)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 = ephemeral; default 8642)")
+    p.add_argument("--cache-size", type=int, default=512,
+                   help="LRU decomposition-cache capacity (default 512)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="concurrent portfolio solves (default 2)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes per portfolio solve (default 2)")
+    p.add_argument("--budget", type=float, default=10.0,
+                   help="default per-request budget in seconds (default 10)")
+    p.add_argument("--max-budget", type=float, default=60.0,
+                   help="hard cap on client-requested budgets (default 60)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write service_response events as JSONL telemetry")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("decompose",
                        help="emit a min-fill tree decomposition")

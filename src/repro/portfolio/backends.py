@@ -13,10 +13,12 @@ heuristic bounds in milliseconds and publishes them, so the expensive
 searches start with a tight incumbent no matter which worker wins the
 scheduling race.
 
-The ``crash`` backend exists for failure-injection tests only — it
-raises immediately, exercising the runner's worker-failure path (the
-same pattern as ``tests/test_failure_injection.py`` elsewhere in the
-repo).
+The ``crash`` and ``stall`` backends exist for failure-injection tests
+only — ``crash`` raises immediately (the runner's worker-failure path),
+``stall`` publishes a trivial bound to the shared channel and hangs
+until the grace period terminates it (the deadline-expiry bracket
+path); same pattern as ``tests/test_failure_injection.py`` elsewhere in
+the repo.
 """
 
 from __future__ import annotations
@@ -332,6 +334,27 @@ def _run_crash(structure, config: BackendConfig, hooks: BoundHooks):
     raise RuntimeError("injected portfolio worker failure (test backend)")
 
 
+def _run_stall(structure, config: BackendConfig, hooks: BoundHooks):
+    """Failure-injection backend: publish a sound trivial upper bound to
+    the shared channel, then hang until the runner's grace period kills
+    the worker — the deadline-expiry path of the graceful-degradation
+    contract (the bracket must survive in the channel even though no
+    report ever comes home).
+
+    ``num_vertices`` is a sound upper bound for every metric: tw ≤ n-1,
+    and ghw/fhw bags of size ≤ n are covered by ≤ n hyperedges.
+    """
+    import time as _time
+
+    n = structure.num_vertices
+    if hooks.publish_upper is not None:
+        hooks.publish_upper(max(n, 0))
+    if hooks.publish_lower is not None:
+        hooks.publish_lower(0)
+    while True:  # pragma: no cover — terminated by the runner
+        _time.sleep(0.05)
+
+
 @dataclass(frozen=True)
 class BackendSpec:
     """A named backend: which metric it bounds and how to run it."""
@@ -356,6 +379,7 @@ BACKENDS: dict[str, BackendSpec] = {
         BackendSpec("ga-fhw", "fhw", _run_ga_fhw),
         BackendSpec("min-fill-fhw", "fhw", _run_minfill_fhw),
         BackendSpec("crash", "any", _run_crash),
+        BackendSpec("stall", "any", _run_stall),
     )
 }
 

@@ -133,6 +133,8 @@ def run_portfolio(
     initial_upper: int | None = None,
     initial_lower: int | None = None,
     warm_ordering: list | None = None,
+    grace_seconds: float | None = None,
+    shared_bounds: SharedBounds | None = None,
 ) -> PortfolioResult:
     """Race solver backends on ``structure`` and merge their bounds.
 
@@ -156,6 +158,19 @@ def run_portfolio(
     a local buffer, the parent traces scheduling, and the merged
     single-timeline JSONL is written to the path (validated by
     ``python -m repro.telemetry.schema``).
+
+    ``grace_seconds`` overrides the hang-kill grace period (default
+    ``2 * budget_seconds + 30``) — deadline-bound callers like the
+    service layer need workers reaped promptly.  ``shared_bounds`` lets
+    the caller supply (and keep a handle on) the bound channel, so it
+    can watch incumbents live and salvage them if the call is abandoned;
+    incompatible with ``deterministic`` (which runs workers isolated).
+
+    Deadline expiry degrades gracefully: if every worker was killed or
+    crashed before reporting, the best incumbent bracket left in the
+    shared channel is returned (``ordering=None``,
+    ``best_backend="shared-channel"``) rather than raising — only a race
+    with a truly empty channel raises :class:`PortfolioError`.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -184,7 +199,15 @@ def run_portfolio(
     )
 
     ctx = multiprocessing.get_context()
-    shared = None if deterministic else SharedBounds(ctx)
+    if shared_bounds is not None and deterministic:
+        raise ValueError(
+            "shared_bounds is incompatible with deterministic mode "
+            "(deterministic workers run isolated)"
+        )
+    if deterministic:
+        shared = None
+    else:
+        shared = shared_bounds if shared_bounds is not None else SharedBounds(ctx)
     if shared is not None:
         if initial_upper is not None:
             shared.propose_upper(initial_upper)
@@ -198,7 +221,10 @@ def run_portfolio(
         else NULL_TRACER
     )
     tracing = tracer.enabled
-    grace = None if budget_seconds is None else 2.0 * budget_seconds + 30.0
+    if grace_seconds is not None:
+        grace = grace_seconds
+    else:
+        grace = None if budget_seconds is None else 2.0 * budget_seconds + 30.0
 
     pending = list(enumerate(specs))
     running: dict[str, tuple] = {}
@@ -302,6 +328,8 @@ def run_portfolio(
     result = _aggregate(
         metric, ordered, time.monotonic() - t0, jobs, deterministic,
         initial_lower=initial_lower,
+        channel_upper=None if shared is None else shared.upper(),
+        channel_lower=None if shared is None else shared.lower(),
     )
     if trace is not None:
         # One timeline: the parent's scheduling records plus every
@@ -323,26 +351,29 @@ def _aggregate(
     jobs: int,
     deterministic: bool,
     initial_lower: int | None = None,
+    channel_upper: Width | None = None,
+    channel_lower: Width | None = None,
 ) -> PortfolioResult:
     """Merge the per-backend reports into the portfolio result.
 
     Ties on the upper bound go to the earlier backend in the requested
     order (``min`` is stable), which together with fixed seeds makes the
     deterministic mode's winner reproducible.  ``initial_lower`` (a
-    caller-proven warm-start bound) joins the lower-bound merge.
+    caller-proven warm-start bound) joins the lower-bound merge, as does
+    the shared channel's final lower bound — a worker may have proven it
+    and then been killed before reporting.
+
+    When *no* backend reported a witnessed upper bound (deadline expiry
+    killed or crashed them all), the channel's incumbent upper bound —
+    published by a worker before it died — still yields an anytime
+    bracket: ``ordering=None``, ``best_backend="shared-channel"``.  Only
+    an empty channel raises.
     """
     candidates = [
         report
         for report in ordered
         if report.error is None and report.upper_bound is not None
     ]
-    if not candidates:
-        failures = "; ".join(
-            f"{report.backend}: {report.error or 'no bound'}"
-            for report in ordered
-        )
-        raise PortfolioError(f"every backend failed — {failures}")
-    best = min(candidates, key=lambda report: report.upper_bound)
     lower = max(
         (
             report.lower_bound
@@ -353,6 +384,29 @@ def _aggregate(
     )
     if initial_lower is not None:
         lower = max(lower, initial_lower)
+    if channel_lower is not None:
+        lower = max(lower, channel_lower)
+    if not candidates:
+        if channel_upper is None:
+            failures = "; ".join(
+                f"{report.backend}: {report.error or 'no bound'}"
+                for report in ordered
+            )
+            raise PortfolioError(f"every backend failed — {failures}")
+        return PortfolioResult(
+            metric=metric,
+            upper_bound=channel_upper,
+            lower_bound=min(lower, channel_upper),
+            exact=lower >= channel_upper,
+            ordering=None,
+            best_backend="shared-channel",
+            reports={report.backend: report for report in ordered},
+            events=[],
+            elapsed_seconds=elapsed,
+            jobs=jobs,
+            deterministic=deterministic,
+        )
+    best = min(candidates, key=lambda report: report.upper_bound)
     lower = min(lower, best.upper_bound)
 
     order_index = {report.backend: i for i, report in enumerate(ordered)}

@@ -1,0 +1,185 @@
+"""The service wire protocol: JSON lines over a stream.
+
+One request per line, one JSON response line per request, in order.
+The formats are deliberately plain so any language can speak them:
+
+Solve request::
+
+    {"op": "solve", "metric": "tw"|"ghw"|"fhw",
+     "edges": [[v, ...], ...] | {"name": [v, ...], ...},
+     "vertices": [...],          # optional isolated/extra vertices
+     "budget": seconds,          # optional, clamped to the server max
+     "id": anything}             # optional, echoed back
+
+Batch request::
+
+    {"op": "batch", "requests": [<solve request>, ...]}
+
+plus ``{"op": "stats"}``, ``{"op": "ping"}`` and ``{"op": "shutdown"}``.
+
+Solve responses carry ``status`` — ``"ok"`` (exact, certified),
+``"bracket"`` (anytime bounds; on deadline expiry possibly with a null
+upper bound) or ``"error"`` (machine-readable ``code`` + human
+``error``; never a traceback) — the canonical ``key``, the ``cache``
+disposition (``hit`` / ``miss`` / ``coalesced``), bounds, and for
+witnessed answers the certificate ``ordering`` in the requester's own
+vertex labels.  Widths are JSON ints, or strings like ``"7/3"`` for
+rational fhw values (never floats — §repro.widths).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+from ..hypergraph.hypergraph import Hypergraph, HypergraphError
+from ..widths import Width, as_width, format_width
+
+PROTOCOL_VERSION = 1
+
+OPS = ("solve", "batch", "stats", "ping", "shutdown")
+
+# Error codes (machine-readable; the ``error`` field explains them).
+BAD_REQUEST = "bad-request"
+TOO_LARGE = "too-large"
+OVERLOADED = "overloaded"
+SOLVER_ERROR = "solver-error"
+CERTIFICATE_REJECTED = "certificate-rejected"
+UNSUPPORTED_METRIC = "unsupported-metric"
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized request; ``code`` names the rejection."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def width_to_json(value: Width | None):
+    if value is None:
+        return None
+    value = as_width(value)
+    return value if isinstance(value, int) else format_width(value)
+
+
+def width_from_json(value) -> Width | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ProtocolError(BAD_REQUEST, f"not a width: {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return as_width(Fraction(value))
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ProtocolError(
+                BAD_REQUEST, f"not a width: {value!r}"
+            ) from exc
+    raise ProtocolError(BAD_REQUEST, f"not a width: {value!r}")
+
+
+def _check_vertex(v):
+    if isinstance(v, bool) or not isinstance(v, (int, str)):
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"vertices must be JSON ints or strings, got {v!r}",
+        )
+    return v
+
+
+def decode_structure(
+    obj: dict,
+    max_vertices: int = 10_000,
+    max_edges: int = 50_000,
+) -> Hypergraph:
+    """Build the submitted hypergraph from a solve request body."""
+    edges = obj.get("edges")
+    if edges is None:
+        raise ProtocolError(BAD_REQUEST, "request has no 'edges'")
+    hypergraph = Hypergraph()
+    try:
+        if isinstance(edges, dict):
+            items = edges.items()
+        elif isinstance(edges, list):
+            items = ((None, members) for members in edges)
+        else:
+            raise ProtocolError(
+                BAD_REQUEST, "'edges' must be a list or an object"
+            )
+        count = 0
+        for name, members in items:
+            count += 1
+            if count > max_edges:
+                raise ProtocolError(
+                    TOO_LARGE, f"more than {max_edges} hyperedges"
+                )
+            if not isinstance(members, list) or not members:
+                raise ProtocolError(
+                    BAD_REQUEST,
+                    "each hyperedge must be a non-empty list of vertices",
+                )
+            hypergraph.add_edge(
+                [_check_vertex(v) for v in members], name=name
+            )
+        extra = obj.get("vertices") or []
+        if not isinstance(extra, list):
+            raise ProtocolError(BAD_REQUEST, "'vertices' must be a list")
+        for v in extra:
+            hypergraph.add_vertex(_check_vertex(v))
+    except HypergraphError as exc:
+        raise ProtocolError(BAD_REQUEST, str(exc)) from exc
+    if hypergraph.num_vertices > max_vertices:
+        raise ProtocolError(
+            TOO_LARGE, f"more than {max_vertices} vertices"
+        )
+    if hypergraph.num_vertices == 0:
+        raise ProtocolError(BAD_REQUEST, "empty instance")
+    return hypergraph
+
+
+def encode_structure(structure: Hypergraph) -> dict:
+    """A solve-request body for ``structure`` (the client-side inverse
+    of :func:`decode_structure`)."""
+    return {
+        "edges": {
+            str(name): list(members)
+            for name, members in structure.edges.items()
+        },
+        "vertices": list(structure.vertices),
+    }
+
+
+def parse_request(line: bytes, max_bytes: int) -> dict:
+    """One wire line to a request object, with size and shape checks."""
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            TOO_LARGE, f"request exceeds {max_bytes} bytes"
+        )
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(BAD_REQUEST, f"not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(BAD_REQUEST, "request must be a JSON object")
+    op = obj.get("op", "solve")
+    if op not in OPS:
+        raise ProtocolError(
+            BAD_REQUEST, f"unknown op {op!r} (known: {', '.join(OPS)})"
+        )
+    return obj
+
+
+def error_response(code: str, message: str, request_id=None) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "status": "error",
+        "code": code,
+        "error": message,
+        "id": request_id,
+    }
+
+
+def encode_response(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"

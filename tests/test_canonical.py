@@ -1,0 +1,189 @@
+"""Property suite for the service's canonical hypergraph hash.
+
+The cache key must be an isomorphism invariant (relabeled resubmissions
+hit), must separate the golden non-isomorphic pairs, and must be stable
+across runs and platforms (it keys a persistent-able cache and appears
+in telemetry timelines) — pinned digests enforce the last."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import (
+    clique_hypergraph,
+    fano_plane_hypergraph,
+    path_graph,
+    random_gnm_graph,
+    random_hypergraph,
+)
+from repro.service.canonical import canonical_form, canonical_key
+
+# Pinned SHA-256 keys: any change here is a cache-format break (every
+# deployed cache key changes) and must be deliberate.
+FANO_KEY = "c8ea4572392e71d53afc3d7e1dc663b44571db4716381e27e526eaeebcba9644"
+P4_KEY = "7ac83e9c557e3efd6a4dd8450a72c1af55ea3ccd9b8fe2dc74b6ddafe9da5eb3"
+
+
+def relabeled_copy(
+    hypergraph: Hypergraph, rng: random.Random, labels: str = "str"
+) -> Hypergraph:
+    """An isomorphic copy: permuted vertex labels (fresh names), shuffled
+    edge insertion order, renamed edges."""
+    vertices = hypergraph.vertex_list()
+    if labels == "str":
+        fresh = [f"relabel_{i}" for i in range(len(vertices))]
+    else:
+        fresh = list(range(1000, 1000 + len(vertices)))
+    rng.shuffle(fresh)
+    mapping = dict(zip(vertices, fresh))
+    edges = list(hypergraph.edges.items())
+    rng.shuffle(edges)
+    copy = Hypergraph()
+    for i, (_name, members) in enumerate(edges):
+        copy.add_edge([mapping[v] for v in members], name=f"renamed{i}")
+    for v in vertices:
+        copy.add_vertex(mapping[v])  # preserve isolated vertices
+    return copy
+
+
+@st.composite
+def small_hypergraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    m = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    h = Hypergraph()
+    for j in range(m):
+        size = rng.randint(1, min(4, n))
+        h.add_edge(rng.sample(range(n), size), name=f"e{j}")
+    for v in range(n):
+        h.add_vertex(v)
+    return h
+
+
+class TestRelabelInvariance:
+    @given(small_hypergraphs(), st.integers(min_value=0, max_value=999),
+           st.sampled_from(["str", "int"]))
+    @settings(max_examples=60, deadline=None)
+    def test_isomorphic_relabelings_hash_identically(self, h, seed, labels):
+        form = canonical_form(h)
+        copy = relabeled_copy(h, random.Random(seed), labels=labels)
+        other = canonical_form(copy)
+        assert other.key == form.key
+        assert other.edges == form.edges
+        assert other.num_vertices == form.num_vertices
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_fano_relabelings_hit_the_pinned_key(self, seed):
+        copy = relabeled_copy(fano_plane_hypergraph(), random.Random(seed))
+        assert canonical_key(copy) == FANO_KEY
+
+    def test_graph_and_two_uniform_hypergraph_agree(self):
+        g = random_gnm_graph(9, 16, seed=7)
+        assert canonical_key(g) == canonical_key(Hypergraph.from_graph(g))
+
+    def test_vertex_insertion_order_is_erased(self):
+        a = Hypergraph(vertices=[1, 2, 3])
+        a.add_edge([1, 2]); a.add_edge([2, 3])
+        b = Hypergraph(vertices=[3, 2, 1])
+        b.add_edge([2, 3]); b.add_edge([1, 2])
+        assert canonical_key(a) == canonical_key(b)
+
+
+class TestNonIsomorphicSeparation:
+    def test_fano_vs_clique_5(self):
+        assert canonical_key(fano_plane_hypergraph()) != canonical_key(
+            clique_hypergraph(5)
+        )
+
+    def test_gnm_twins_differing_in_one_edge(self):
+        base = random_gnm_graph(10, 18, seed=3)
+        twin = base.copy()
+        u, v = next(iter(twin.edges()))
+        twin.remove_edge(u, v)
+        # Re-add a different edge so |V| and |E| match the base.
+        for a in twin.vertex_list():
+            done = False
+            for b in twin.vertex_list():
+                if a != b and not twin.has_edge(a, b) and (a, b) != (u, v):
+                    twin.add_edge(a, b)
+                    done = True
+                    break
+            if done:
+                break
+        assert twin.num_edges == base.num_edges
+        assert canonical_key(twin) != canonical_key(base)
+
+    def test_edge_multiplicity_is_structure(self):
+        single = Hypergraph()
+        single.add_edge([1, 2, 3])
+        doubled = Hypergraph()
+        doubled.add_edge([1, 2, 3], name="a")
+        doubled.add_edge([1, 2, 3], name="b")
+        assert canonical_key(single) != canonical_key(doubled)
+
+    def test_isolated_vertices_are_structure(self):
+        bare = Hypergraph()
+        bare.add_edge([1, 2])
+        padded = bare.copy()
+        padded.add_vertex("isolated")
+        assert canonical_key(bare) != canonical_key(padded)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_random_instances_rarely_collide(self, seed):
+        # Not a proof (hashes can collide) but any systematic canonical-
+        # form merge of non-isomorphic instances shows up here fast.
+        a = random_hypergraph(8, 10, seed=seed)
+        b = random_hypergraph(8, 10, seed=seed + 1)
+        fa, fb = canonical_form(a), canonical_form(b)
+        if fa.edges != fb.edges:
+            assert fa.key != fb.key
+
+
+class TestStability:
+    def test_pinned_digests(self):
+        assert canonical_key(fano_plane_hypergraph()) == FANO_KEY
+        assert canonical_key(path_graph(4)) == P4_KEY
+
+    def test_repeated_runs_agree(self):
+        h = random_hypergraph(9, 12, seed=11)
+        keys = {canonical_key(h.copy()) for _ in range(5)}
+        assert len(keys) == 1
+
+    def test_fallback_is_deterministic_and_flagged(self):
+        h = clique_hypergraph(6)
+        starved = canonical_form(h, max_branch_nodes=1)
+        assert not starved.canonical
+        again = canonical_form(h, max_branch_nodes=1)
+        assert starved.key == again.key
+        assert starved.edges == again.edges
+        # The full search still exists and is canonical.
+        assert canonical_form(h).canonical
+
+
+class TestOrderingMaps:
+    @given(small_hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, h):
+        form = canonical_form(h)
+        ordering = h.vertex_list()
+        assert form.map_ordering_out(form.map_ordering_in(ordering)) == (
+            ordering
+        )
+
+    def test_cross_instance_transfer(self):
+        # An ordering cached in canonical indices maps onto an
+        # isomorphic copy as a valid ordering of the copy's labels.
+        h = fano_plane_hypergraph()
+        form = canonical_form(h)
+        copy = relabeled_copy(h, random.Random(5))
+        copy_form = canonical_form(copy)
+        canonical_ordering = form.map_ordering_in(h.vertex_list())
+        mapped = copy_form.map_ordering_out(canonical_ordering)
+        assert sorted(map(repr, mapped)) == sorted(
+            map(repr, copy.vertex_list())
+        )

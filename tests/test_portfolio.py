@@ -271,6 +271,66 @@ class TestPortfolioLive:
             run_portfolio(get_instance("myciel3").build(), jobs=0)
 
 
+class TestDeadlineBracket:
+    """Deadline expiry with no finished backend must yield the best
+    incumbent bracket from the shared-bounds channel, never None or a
+    spurious PortfolioError (regression: the aggregator used to raise
+    when every report came back unfinished)."""
+
+    def test_stalled_race_returns_channel_bracket(self):
+        instance = get_instance("myciel3").build()
+        result = run_portfolio(
+            instance,
+            backends=["stall"],  # publishes n as an upper bound, hangs
+            jobs=1,
+            budget_seconds=0.3,
+            grace_seconds=0.5,
+        )
+        assert result.upper_bound == instance.num_vertices
+        assert result.lower_bound == 0
+        assert not result.exact
+        assert result.ordering is None
+        assert result.best_backend == "shared-channel"
+        # The hung worker was grace-killed, not awaited to completion.
+        assert not multiprocessing.active_children()
+
+    def test_caller_owned_channel_sees_live_bounds(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        instance = get_instance("myciel3").build()
+        result = run_portfolio(
+            instance,
+            backends=["stall"],
+            jobs=1,
+            budget_seconds=0.3,
+            grace_seconds=0.5,
+            shared_bounds=shared,
+        )
+        # The caller's channel carries the incumbents the race produced.
+        assert shared.upper() == result.upper_bound
+        assert result.upper_bound == instance.num_vertices
+
+    def test_shared_channel_beats_finished_backend_on_lower(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        shared.propose_lower(2)  # externally injected proof
+        result = run_portfolio(
+            get_instance("myciel3").build(),
+            backends=["min-fill"],
+            jobs=1,
+            budget_seconds=10.0,
+            shared_bounds=shared,
+        )
+        assert result.lower_bound >= 2
+
+    def test_shared_bounds_incompatible_with_deterministic(self):
+        shared = SharedBounds(multiprocessing.get_context())
+        with pytest.raises(ValueError, match="deterministic"):
+            run_portfolio(
+                get_instance("myciel3").build(),
+                deterministic=True,
+                shared_bounds=shared,
+            )
+
+
 class TestWorkerCleanup:
     def test_interrupted_wait_loop_leaves_no_live_workers(self, monkeypatch):
         # Regression: an interrupt while waiting for reports used to
