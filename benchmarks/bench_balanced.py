@@ -1,0 +1,194 @@
+"""Balanced-separator decomposition benchmark: scaling and width gates.
+
+Two properties of ``repro.parallel.balanced_ghw`` are measured:
+
+* **Scaling** (enforced at ``REPRO_BENCH_SCALE >= 0.25`` on machines
+  with >= 4 cores, report-only otherwise): the median single-instance
+  speedup of 4 workers over 1 worker on the large grid / DIMACS
+  instances is at least 1.8x.  Deterministic mode pins the work, so the
+  ratio isolates the pool's parallelism; on the single-core CI box the
+  ratio is honestly below 1 (process overhead) and the gate reports
+  only.
+* **Width domination** (always enforced): on the Table 8/9 instance
+  set the balanced width matches or beats the sequential deterministic
+  portfolio's width under a comparable budget — splitting on balanced
+  separators must not cost width.
+
+Every decomposition the bench touches is re-certified with
+``check_ghd`` (always enforced — a certification failure is a bug, not
+a performance regression).
+
+Results go to ``benchmarks/results/balanced.{txt,json}``.  Runs
+standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_balanced.py
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+
+from repro.instances import get_instance
+from repro.parallel import BalancedConfig, balanced_ghw
+from repro.parallel.balanced import as_hypergraph
+from repro.portfolio import run_portfolio
+from repro.verify import check_ghd
+
+from _harness import bench_seed, report, scale
+
+# The scaling set: large grids plus the lifted DIMACS queen graph.
+SCALING_INSTANCES = ["grid2d_6", "grid2d_10"]
+SCALING_INSTANCES_FULL = ["bridge_10", "queen5_5"]
+
+# The Table 8/9 set (bench_table_8_bb_ghw / bench_table_9_astar_ghw).
+EXACT_INSTANCES = [
+    "adder_5", "adder_10", "adder_15",
+    "clique_6", "clique_8", "clique_10",
+    "grid2d_4",
+]
+BUDGETED_INSTANCES = ["bridge_10", "grid2d_6", "b06", "clique_15"]
+
+
+def _certified(result, hypergraph) -> bool:
+    return not check_ghd(
+        result.decomposition, hypergraph, claimed_width=result.width
+    )
+
+
+def _scaling_rows() -> tuple[list[list], list[float], bool]:
+    instances = list(SCALING_INSTANCES)
+    if scale() >= 0.25:
+        instances += SCALING_INSTANCES_FULL
+    rows, speedups, all_certified = [], [], True
+    for name in instances:
+        hypergraph = as_hypergraph(get_instance(name).build())
+        timings = {}
+        widths = {}
+        for workers in (1, 4):
+            config = BalancedConfig(
+                workers=workers,
+                deterministic=True,
+                max_subproblems=int(4000 * max(scale(), 0.05)) or 200,
+                seed=bench_seed(),
+            )
+            start = time.monotonic()
+            result = balanced_ghw(hypergraph, config)
+            timings[workers] = time.monotonic() - start
+            widths[workers] = result.width
+            all_certified &= _certified(result, hypergraph)
+            rows.append([
+                "scaling", name, f"balanced-w{workers}", result.width,
+                result.stats.get("parallel.steals", 0),
+                round(timings[workers], 3),
+            ])
+        # Deterministic mode: same work, same widths, any worker count.
+        assert widths[1] == widths[4], (name, widths)
+        speedups.append(timings[1] / max(timings[4], 1e-9))
+    return rows, speedups, all_certified
+
+
+def _domination_rows() -> tuple[list[list], bool, bool]:
+    instances = list(EXACT_INSTANCES)
+    if scale() >= 0.25:
+        instances += BUDGETED_INSTANCES
+    else:
+        instances += ["grid2d_6", "b06"]
+    budget = max(5.0, 30.0 * scale())
+    rows, dominated, all_certified = [], True, True
+    for name in instances:
+        structure = get_instance(name).build()
+        hypergraph = as_hypergraph(structure)
+        balanced = balanced_ghw(
+            hypergraph,
+            BalancedConfig(
+                deterministic=True,
+                max_subproblems=int(4000 * max(scale(), 0.05)) or 200,
+                seed=bench_seed(),
+            ),
+        )
+        all_certified &= _certified(balanced, hypergraph)
+        race = run_portfolio(
+            structure,
+            jobs=1,
+            budget_seconds=budget,
+            seed=bench_seed(),
+            deterministic=True,
+            metric="ghw",
+        )
+        if balanced.width > race.width:
+            dominated = False
+        rows.append([
+            "domination", name, "balanced", balanced.width,
+            balanced.stats.get("parallel.splits", 0),
+            round(balanced.elapsed_seconds, 3),
+        ])
+        rows.append([
+            "domination", name, "portfolio-seq", race.width, "-",
+            round(race.elapsed_seconds, 3),
+        ])
+    return rows, dominated, all_certified
+
+
+def run_balanced_benchmark() -> tuple[list[list], dict]:
+    scaling_rows, speedups, cert_a = _scaling_rows()
+    domination_rows, dominated, cert_b = _domination_rows()
+    median_speedup = statistics.median(speedups) if speedups else 0.0
+    cores = os.cpu_count() or 1
+    scaling_enforced = scale() >= 0.25 and cores >= 4
+    extra = {
+        "median_speedup_4_workers": round(median_speedup, 3),
+        "speedups": [round(s, 3) for s in speedups],
+        "scaling_gate_enforced": scaling_enforced,
+        "scaling_gate_pass": median_speedup >= 1.8,
+        "width_domination": dominated,
+        "all_certified": cert_a and cert_b,
+        "cpu_cores": cores,
+    }
+    return scaling_rows + domination_rows, extra
+
+
+def _report(rows: list[list], extra: dict) -> None:
+    report(
+        "balanced",
+        "Balanced-separator splitting: 4-worker scaling and width "
+        "domination vs the sequential portfolio",
+        ["gate", "instance", "run", "width", "steals/splits", "seconds"],
+        rows,
+        extra=extra,
+    )
+    gate = (
+        "enforced" if extra["scaling_gate_enforced"]
+        else f"report-only ({extra['cpu_cores']} cores at this scale)"
+    )
+    print(f"median 4-worker speedup: {extra['median_speedup_4_workers']}x "
+          f"({gate})")
+    print(f"width domination: {extra['width_domination']}")
+    print(f"all decompositions certified: {extra['all_certified']}")
+
+
+def _gates_pass(extra: dict) -> bool:
+    if not extra["all_certified"] or not extra["width_domination"]:
+        return False
+    if extra["scaling_gate_enforced"] and not extra["scaling_gate_pass"]:
+        return False
+    return True
+
+
+def test_balanced_benchmark(benchmark):
+    rows, extra = benchmark.pedantic(
+        run_balanced_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, extra)
+    assert extra["all_certified"]
+    assert extra["width_domination"]
+    if extra["scaling_gate_enforced"]:
+        assert extra["scaling_gate_pass"]
+
+
+if __name__ == "__main__":
+    rows, extra = run_balanced_benchmark()
+    _report(rows, extra)
+    sys.exit(0 if _gates_pass(extra) else 1)

@@ -7,6 +7,7 @@ Usage::
     python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro fhw  <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
+    python -m repro balanced <instance-or-file> [--workers N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
     python -m repro fuzz [--seed N] [--cases N] [--replay FILE]
     python -m repro serve [--port N] [--cache-size N] [--budget S]
@@ -223,6 +224,44 @@ def cmd_fhw(args: argparse.Namespace) -> int:
         return 0
     finally:
         tracer.close()
+
+
+def cmd_balanced(args: argparse.Namespace) -> int:
+    from .parallel import BalancedConfig, balanced_ghw
+
+    structure = load_structure(args.instance)
+    if isinstance(structure, Graph):
+        structure = Hypergraph.from_graph(structure)
+    tracer = _make_tracer(args)
+    metrics = Metrics()
+    try:
+        result = balanced_ghw(
+            structure,
+            BalancedConfig(
+                workers=args.workers,
+                deterministic=args.deterministic,
+                max_seconds=None if args.deterministic else args.budget,
+                seed=args.seed,
+            ),
+            metrics=metrics,
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    mode = (
+        f"{result.workers} workers" if result.workers else "sequential"
+    )
+    qualifier = "exact, " if result.exact else ""
+    print(f"ghw {'=' if result.exact else '<='} {result.width} "
+          f"(balanced, {qualifier}certified, {mode}, "
+          f"{result.elapsed_seconds:.2f}s)")
+    print(f"  min-fill start: {result.initial_upper}, "
+          f"lower bound: {result.lower_bound}, "
+          f"k-ladder: {result.attempts}")
+    if args.metrics:
+        for name, value in sorted(result.stats.items()):
+            print(f"  {name}: {value}")
+    return 0
 
 
 def cmd_hw(args: argparse.Namespace) -> int:
@@ -465,6 +504,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", action="store_true",
                        help="print the run's full stats summary")
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "balanced",
+        help="certified ghw by balanced-separator splitting over a "
+        "work-stealing worker pool",
+    )
+    p.add_argument("instance", help="instance name or file path")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for the subproblem pool "
+                   "(0 = sequential in-process; default 0)")
+    p.add_argument("--budget", type=float, default=30.0,
+                   help="time budget in seconds (default 30; ignored "
+                   "with --deterministic)")
+    p.add_argument("--deterministic", action="store_true",
+                   help="fixed candidate order and subproblem budget "
+                   "instead of wall clock — widths independent of "
+                   "worker count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write split/steal/stitch events as JSONL "
+                   "telemetry (merged across workers)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's parallel.* counters")
+    p.set_defaults(func=cmd_balanced)
 
     p = sub.add_parser(
         "hw", help="compute the exact hypertree width (det-k-decomp)"

@@ -1,0 +1,36 @@
+"""Log-depth parallel decomposition via balanced separators.
+
+`balanced` splits instances on balanced separators (arXiv:2104.13793)
+instead of racing whole-instance solvers: components become independent
+subproblems fanned out over a persistent worker pool with work-stealing
+and depth-first priority, and the stitched result is certified by
+``repro.verify.check_ghd`` before being reported.  See DESIGN.md
+"Parallel decomposition".
+"""
+
+from .balanced import (
+    BALANCE_LADDER,
+    BalancedBudgetExceeded,
+    BalancedCertificationError,
+    BalancedConfig,
+    BalancedCore,
+    BalancedError,
+    BalancedResult,
+    balanced_ghw,
+    decide_balanced_ghw,
+)
+from .pool import WorkerPool, pool_decide
+
+__all__ = [
+    "BALANCE_LADDER",
+    "BalancedBudgetExceeded",
+    "BalancedCertificationError",
+    "BalancedConfig",
+    "BalancedCore",
+    "BalancedError",
+    "BalancedResult",
+    "WorkerPool",
+    "balanced_ghw",
+    "decide_balanced_ghw",
+    "pool_decide",
+]

@@ -1,0 +1,555 @@
+"""The persistent subproblem pool behind ``balanced_ghw(workers >= 1)``.
+
+Unlike the portfolio's wave runner (one process per *backend*, racing
+whole instances), this pool holds N long-lived worker processes that
+each build one :class:`~repro.parallel.balanced.BalancedCore` over the
+instance at startup and then serve many small tasks:
+
+* ``solve`` — run the whole sequential recursion on one sealed
+  subproblem (small components ship as a single task, so the worker's
+  cover cache and subproblem memo amortize across siblings — the
+  cross-component sharing of `CoverCache.component_result`);
+* ``scan`` — enumerate one shard of a big subproblem's candidate
+  separator stream and return every acceptable :class:`Split` (the
+  indexed stream is a pure function of the subproblem, so shard
+  results merge deterministically by candidate index).
+
+Scheduling is parent-side: a heap keyed ``(-depth, seq)`` gives
+depth-first priority (children before pending siblings' parents — the
+frontier stays narrow), and each task remembers the worker whose result
+spawned it.  A task dispatched to a *different* worker than its origin
+is a steal — counted in ``parallel.steals`` and traced as a ``steal``
+event.  Workers never idle while the heap is non-empty.
+
+Teardown rides :func:`repro.portfolio.runner.shutdown_workers` — the
+idempotent, interrupt-safe terminate/join/close shared with the wave
+runner — from a ``finally`` in every driver entry point, so an
+interrupt mid-split never leaks processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+
+from ..hypergraph.hypergraph import Hypergraph
+from ..portfolio.runner import shutdown_workers
+from ..telemetry import Metrics, NULL_TRACER, MemoryTracer
+from .balanced import (
+    BalancedBudgetExceeded,
+    BalancedConfig,
+    BalancedCore,
+    BalancedError,
+    certify_assembly,
+    materialize,
+)
+
+
+class WorkerCrashed(BalancedError):
+    """A pool worker died while holding a task."""
+
+
+class _Future:
+    """A one-shot, thread-safe result slot for a dispatched task."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error = None
+
+    def resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise BalancedBudgetExceeded("timed out waiting for a worker")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _Task:
+    __slots__ = ("task_id", "kind", "payload", "depth", "origin", "future")
+
+    def __init__(self, task_id, kind, payload, depth, origin):
+        self.task_id = task_id
+        self.kind = kind
+        self.payload = payload
+        self.depth = depth
+        self.origin = origin
+        self.future = _Future()
+
+
+def _worker_main(worker_id, hypergraph, config, inbox, results, trace_t0):
+    """Worker loop: one core per process, tasks until the sentinel.
+
+    Every result carries the worker id (the parent's steal/origin
+    bookkeeping) and per-task trace records when tracing is on
+    (``trace_t0`` is the parent tracer's time base — CLOCK_MONOTONIC is
+    system-wide, so all streams share one axis); the final ``bye``
+    message ships the worker's cumulative metrics snapshot home for
+    merging.
+    """
+    metrics = Metrics()
+    trace = trace_t0 is not None
+    tracer = (
+        MemoryTracer(worker=f"balanced-{worker_id}", t0=trace_t0)
+        if trace else NULL_TRACER
+    )
+    core = BalancedCore(hypergraph, config, metrics, tracer)
+    while True:
+        task = inbox.get()
+        if task is None:
+            results.put(("bye", worker_id, metrics.snapshot(), None))
+            return
+        task_id, kind, payload = task
+        try:
+            if kind == "solve":
+                component, connector, k, deadline = payload
+                core.deadline = deadline
+                value = core.decompose(component, connector, k)
+            elif kind == "scan":
+                (component, connector, k, rung, failed,
+                 shard, shards, deadline) = payload
+                core.deadline = deadline
+                connector_mask = core.engine.mask_of(connector)
+                scope = core.scope_mask(component, connector_mask)
+                value = list(core.splits(
+                    component, connector_mask, scope, k, rung, failed,
+                    shard=shard, shards=shards,
+                ))
+            else:  # pragma: no cover - defensive
+                raise BalancedError(f"unknown task kind {kind!r}")
+            if trace:
+                records = list(tracer.records)
+                tracer.records.clear()
+            else:
+                records = []
+            results.put(("ok", worker_id, task_id, value, records))
+        except BalancedBudgetExceeded as exc:
+            results.put(("budget", worker_id, task_id, str(exc), []))
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            results.put(("error", worker_id, task_id, repr(exc), []))
+
+
+class WorkerPool:
+    """N persistent workers + the parent-side scheduler.
+
+    ``submit`` enqueues a task with depth-first priority; a dispatcher
+    pass (run under the pool lock by whichever thread is active) feeds
+    idle workers from the heap.  The collector thread drains results,
+    resolves futures and re-dispatches.  ``shutdown`` is idempotent and
+    interrupt-safe (see :func:`shutdown_workers`).
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        config: BalancedConfig,
+        metrics: Metrics | None = None,
+        tracer=None,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.c_tasks = self.metrics.counter("parallel.tasks")
+        self.c_steals = self.metrics.counter("parallel.steals")
+        trace_t0 = (
+            getattr(self.tracer, "t0", None)
+            if getattr(self.tracer, "enabled", False) else None
+        )
+        ctx = multiprocessing.get_context()
+        self._results = ctx.Queue()
+        self._inboxes = []
+        self.processes = []
+        self._lock = threading.Lock()
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._task_ids = itertools.count()
+        self._inflight: dict[int, tuple] = {}  # task_id -> (task, worker)
+        self._idle: list[int] = []
+        self._closed = False
+        self._failure: BaseException | None = None
+        workers = max(int(config.workers), 1)
+        try:
+            for worker_id in range(workers):
+                inbox = ctx.Queue()
+                process = ctx.Process(
+                    target=_worker_main,
+                    name=f"balanced-worker-{worker_id}",
+                    args=(worker_id, hypergraph, config, inbox,
+                          self._results, trace_t0),
+                    daemon=True,
+                )
+                process.start()
+                self._inboxes.append(inbox)
+                self.processes.append(process)
+                self._idle.append(worker_id)
+        except BaseException:
+            self.shutdown()
+            raise
+        self._collector = threading.Thread(
+            target=self._collect, name="balanced-pool-collector", daemon=True,
+        )
+        self._collector.start()
+
+    # -- submission and dispatch ----------------------------------------
+
+    def submit(self, kind, payload, depth: int, origin=None) -> _Future:
+        task = _Task(next(self._task_ids), kind, payload, depth, origin)
+        with self._lock:
+            if self._failure is not None:
+                task.future.fail(self._failure)
+                return task.future
+            if self._closed:
+                task.future.fail(BalancedError("pool is shut down"))
+                return task.future
+            heapq.heappush(
+                self._heap, ((-depth, next(self._seq)), task)
+            )
+            self.c_tasks.inc()
+            self._dispatch_locked()
+        return task.future
+
+    def _dispatch_locked(self) -> None:
+        while self._heap and self._idle:
+            _, task = heapq.heappop(self._heap)
+            worker = self._pick_worker_locked(task)
+            self._inflight[task.task_id] = (task, worker)
+            self._inboxes[worker].put(
+                (task.task_id, task.kind, task.payload)
+            )
+
+    def _pick_worker_locked(self, task: _Task) -> int:
+        """Prefer the task's origin worker (its caches are warm from the
+        parent subproblem); anything else is a steal."""
+        if task.origin is not None and task.origin in self._idle:
+            self._idle.remove(task.origin)
+            return task.origin
+        worker = self._idle.pop(0)
+        if task.origin is not None and worker != task.origin:
+            self.c_steals.inc()
+            self.tracer.event(
+                "steal", task=task.task_id, kind=task.kind,
+                origin=task.origin, worker=worker, depth=task.depth,
+            )
+        return worker
+
+    # -- result collection ----------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._results.get(timeout=0.2)
+            except (queue_module.Empty, OSError, ValueError, EOFError):
+                with self._lock:
+                    if self._closed:
+                        return
+                self._reap_dead()
+                continue
+            if message[0] == "bye":
+                _, worker_id, snapshot, _ = message
+                self.metrics.merge_snapshot(snapshot)
+                continue
+            status, worker_id, task_id, value, records = message
+            for record in records or ():
+                self.tracer.emit(record)
+            with self._lock:
+                entry = self._inflight.pop(task_id, None)
+                self._idle.append(worker_id)
+                self._dispatch_locked()
+            if entry is None:
+                continue
+            task, _ = entry
+            if status == "ok":
+                task.future.resolve((value, worker_id))
+            elif status == "budget":
+                task.future.fail(BalancedBudgetExceeded(value))
+            else:
+                task.future.fail(BalancedError(value))
+
+    def _reap_dead(self) -> None:
+        """Fail in-flight tasks whose worker died (crash isolation: the
+        driver sees a :class:`WorkerCrashed`, not a hang)."""
+        with self._lock:
+            dead = [
+                worker_id
+                for worker_id, process in enumerate(self.processes)
+                if not process.is_alive()
+            ]
+            if not dead or self._closed:
+                return
+            stranded = [
+                (task_id, task, worker)
+                for task_id, (task, worker) in self._inflight.items()
+                if worker in dead
+            ]
+            for task_id, task, worker in stranded:
+                del self._inflight[task_id]
+                task.future.fail(WorkerCrashed(
+                    f"worker {worker} died holding task {task_id}"
+                ))
+
+    # -- teardown --------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Idempotent, interrupt-safe: signal workers, collect their
+        metrics, then terminate/join/close whatever is left."""
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            if self._failure is None:
+                self._failure = BalancedError("pool is shut down")
+            for _, task in self._heap:
+                task.future.fail(self._failure)
+            self._heap.clear()
+            for task_id, (task, _) in list(self._inflight.items()):
+                task.future.fail(self._failure)
+            self._inflight.clear()
+        if already:
+            return
+        for inbox in self._inboxes:
+            try:
+                inbox.put_nowait(None)
+            except (OSError, ValueError):  # pragma: no cover - closed
+                pass
+        deadline = time.monotonic() + 1.0
+        for process in self.processes:
+            process.join(timeout=max(deadline - time.monotonic(), 0.05))
+        # Drain any final ``bye`` snapshots that landed before teardown.
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except (queue_module.Empty, OSError, ValueError, EOFError):
+                break
+            if message[0] == "bye":
+                self.metrics.merge_snapshot(message[2])
+        shutdown_workers(
+            self.processes, [self._results, *self._inboxes]
+        )
+
+    close = shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class PoolDriver:
+    """The parent side of a pooled ``balanced_ghw`` run: orchestrates
+    splits over big subproblems, ships sealed small subproblems to the
+    pool, and stitches results — reusing the same pool across the whole
+    k-ladder."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        config: BalancedConfig,
+        metrics: Metrics | None = None,
+        tracer=None,
+    ):
+        self.hypergraph = hypergraph
+        self.config = config
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.core = BalancedCore(hypergraph, config, self.metrics,
+                                 self.tracer)
+        self.pool = WorkerPool(hypergraph, config, self.metrics, self.tracer)
+        self.deadline: float | None = None
+
+    def decide(self, k: int):
+        """A certified width-≤-k GHD via the pool, or ``None``."""
+        self.core.deadline = self.deadline
+        roots = []
+        for component, _ in self.core.top_components():
+            node = self._solve(component, frozenset(), k, 0, None)
+            if node is None:
+                return None
+            roots.append(node)
+        return certify_assembly(
+            materialize(roots), self.hypergraph, k
+        )
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    # -- the parent-driven recursion ------------------------------------
+
+    def _solve(self, component, connector, k, depth, origin):
+        """Mirror of ``BalancedCore.decompose`` with the recursion's
+        work shipped to the pool: small subproblems go out whole,
+        big ones are split here with sharded candidate scans."""
+        core = self.core
+        core._check_budget()
+        key = (core.component_mask(component),
+               core.engine.mask_of(connector), k)
+        hit, node = core.cache.component_result(key)
+        if hit:
+            return node
+        if len(component) <= self.config.task_edges:
+            future = self.pool.submit(
+                "solve", (component, connector, k, self.deadline),
+                depth, origin,
+            )
+            value, _ = future.result()
+            core.cache.store_component(key, value)
+            return value
+        core.states += 1
+        core.c_subproblems.inc()
+        connector_mask = key[1]
+        scope = core.scope_mask(component, connector_mask)
+        node = self._split_subproblem(
+            component, connector, connector_mask, scope, k, depth,
+        )
+        core.cache.store_component(key, node)
+        if node is None:
+            core.c_failures.inc()
+        return node
+
+    def _split_subproblem(
+        self, component, connector, connector_mask, scope, k, depth,
+    ):
+        core = self.core
+        leaf = core._leaf(component, scope, k)
+        if leaf is not None:
+            return leaf
+        if (
+            connector_mask
+            and core.engine.greedy_size(connector_mask) > k
+            and core.engine.exact_size(connector_mask) > k
+        ):
+            return None
+        shards = self.config.scan_shards or max(self.config.workers, 1)
+        failed: set = set()
+        for rung_index, rung in enumerate(core.ladder()):
+            if rung_index:
+                core.c_relax.inc()
+            for split, origin in self._scan(
+                component, connector, k, rung, frozenset(failed),
+                shards, depth,
+            ):
+                if split.lam in failed:
+                    continue
+                node = self._try_split(split, k, depth, origin)
+                if node is not None:
+                    return node
+                failed.add(split.lam)
+        return None
+
+    def _scan(self, component, connector, k, rung, failed, shards, depth):
+        """Sharded candidate scan.  Deterministic mode collects every
+        shard and merges by candidate index (fixed tie-breaks); fast
+        mode yields each shard's acceptable splits as they arrive."""
+        futures = [
+            self.pool.submit(
+                "scan",
+                (component, connector, k, rung, failed,
+                 shard, shards, self.deadline),
+                depth, None,
+            )
+            for shard in range(shards)
+        ]
+        if self.config.deterministic:
+            merged = []
+            for future in futures:
+                splits, worker = future.result()
+                merged.extend((split, worker) for split in splits)
+            merged.sort(key=lambda item: item[0].index)
+            yield from merged
+        else:
+            pending = list(futures)
+            while pending:
+                done = None
+                for future in pending:
+                    if future._event.is_set():
+                        done = future
+                        break
+                if done is None:
+                    pending[0]._event.wait(0.05)
+                    self.core._check_budget()
+                    continue
+                pending.remove(done)
+                splits, worker = done.result()
+                for split in splits:
+                    yield split, worker
+
+    def _try_split(self, split, k, depth, origin):
+        core = self.core
+        core.c_splits.inc()
+        core.tracer.event(
+            "split",
+            depth=depth,
+            lam=len(split.lam),
+            covered=len(split.covered),
+            components=len(split.children),
+            balance=f"{split.balance[0]}/{split.balance[1]}",
+            index=split.index,
+        )
+        children = list(split.children)
+        results: list = [None] * len(children)
+        if len(children) <= 1:
+            for i, (child_component, child_connector) in enumerate(children):
+                results[i] = self._solve(
+                    child_component, child_connector, k, depth + 1, origin,
+                )
+        else:
+            # Sibling subproblems are independent — solve them on
+            # parallel parent threads, each feeding the shared pool.
+            errors: list = []
+
+            def run(i, child):
+                try:
+                    results[i] = self._solve(
+                        child[0], child[1], k, depth + 1, origin,
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(i, child), daemon=True)
+                for i, child in enumerate(children)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+        if any(node is None for node in results):
+            return None
+        return core.stitch(split, results, depth)
+
+
+def pool_decide(
+    hypergraph: Hypergraph,
+    k: int,
+    config: BalancedConfig,
+    metrics: Metrics | None = None,
+    tracer=None,
+    core=None,
+    driver: PoolDriver | None = None,
+):
+    """One k-rung over a worker pool.  With no ``driver`` a pool is
+    created and torn down around the attempt (the ``finally`` makes any
+    interrupt path leak-free); `balanced_ghw` passes a persistent
+    driver so the pool and the caches survive the whole k-ladder."""
+    if driver is not None:
+        return driver.decide(k)
+    own = PoolDriver(hypergraph, config, metrics, tracer)
+    try:
+        return own.decide(k)
+    finally:
+        own.close()

@@ -330,6 +330,44 @@ def _run_minfill_fhw(structure, config: BackendConfig, hooks: BoundHooks):
     )
 
 
+def _run_balanced_ghw(structure, config: BackendConfig, hooks: BoundHooks):
+    """Balanced-separator splitting (`repro.parallel`), sequential core.
+
+    The portfolio's workers are daemon processes and cannot spawn a
+    worker pool of their own, so inside the portfolio the backend runs
+    the single-process recursion; the pooled path is the standalone
+    ``python -m repro balanced`` entry point.  Every certified incumbent
+    is published through the shared channel and external upper bounds
+    are consumed to skip dead rungs of the k-ladder.
+
+    ``ordering`` is None: the witness is a stitched GHD, not an
+    elimination ordering — which is why this backend is not in
+    ``DEFAULT_BACKENDS`` (downstream witness-replay paths expect
+    orderings); select it explicitly.
+    """
+    from ..parallel import BalancedConfig, balanced_ghw
+
+    result = balanced_ghw(
+        _as_hypergraph(structure),
+        BalancedConfig(
+            workers=0,
+            deterministic=config.deterministic,
+            max_seconds=None if config.deterministic else config.max_seconds,
+            seed=config.seed,
+        ),
+        hooks=hooks,
+    )
+    return BackendReport(
+        backend="balanced-ghw",
+        upper_bound=result.width,
+        lower_bound=result.lower_bound,
+        ordering=None,
+        exact=result.exact,
+        nodes=int(result.stats.get("parallel.subproblems", 0)),
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
 def _run_crash(structure, config: BackendConfig, hooks: BoundHooks):
     raise RuntimeError("injected portfolio worker failure (test backend)")
 
@@ -375,6 +413,7 @@ BACKENDS: dict[str, BackendSpec] = {
         BackendSpec("astar-ghw", "ghw", _run_astar_ghw),
         BackendSpec("ga-ghw", "ghw", _run_ga_ghw),
         BackendSpec("min-fill-ghw", "ghw", _run_minfill_ghw),
+        BackendSpec("balanced-ghw", "ghw", _run_balanced_ghw),
         BackendSpec("astar-fhw", "fhw", _run_astar_fhw),
         BackendSpec("ga-fhw", "fhw", _run_ga_fhw),
         BackendSpec("min-fill-fhw", "fhw", _run_minfill_fhw),

@@ -51,6 +51,43 @@ class PortfolioError(RuntimeError):
     """Raised when every backend failed to produce a bound."""
 
 
+def shutdown_workers(processes, queues=(), grace: float = 5.0) -> None:
+    """Terminate-and-join worker processes and tear their queues down.
+
+    The shared teardown of the wave runner *and* the persistent
+    subproblem pool (`repro.parallel.pool`): terminate every process
+    still alive, join with a grace period, kill the ones that ignore
+    SIGTERM, then close each queue and cancel its feeder thread so the
+    parent never blocks on a dead child's buffer.
+
+    Idempotent and interrupt-safe by construction — every step
+    tolerates processes that are already dead (or were never started)
+    and queues that are already closed, so callers can run it from
+    ``finally`` blocks on any interrupt path and call it again on
+    explicit shutdown without a second teardown misbehaving.
+    """
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except ValueError:  # pragma: no cover - process already closed
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=grace)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join()
+        except (ValueError, AssertionError):  # pragma: no cover
+            pass  # already closed / never started
+    for q in queues:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+
+
 @dataclass
 class PortfolioResult:
     """Aggregated outcome of a portfolio race.
@@ -313,16 +350,10 @@ def run_portfolio(
         # cleanup the live workers leak past the call — terminate and join
         # every straggler and tear the report queue down.  On the normal
         # path ``running`` is already empty and this is a no-op.
-        for process, _ in running.values():
-            process.terminate()
-        for process, _ in running.values():
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - SIGTERM ignored
-                process.kill()
-                process.join()
+        shutdown_workers(
+            [process for process, _ in running.values()], (report_queue,)
+        )
         running.clear()
-        report_queue.close()
-        report_queue.cancel_join_thread()
 
     ordered = [reports[spec.name] for spec in specs]
     result = _aggregate(

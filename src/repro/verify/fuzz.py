@@ -94,6 +94,8 @@ FAULTS: dict[str, str] = {
     "instead of staying exact",
     "fhw-integral-cache": "the bit-engine fhw path answers a fractional "
     "query with the integral cover size",
+    "stitch-drop-cover": "the balanced stitcher drops separator edges "
+    "from a joint bag's λ-label (coverage hole the certifier must flag)",
 }
 
 
@@ -113,6 +115,7 @@ class FuzzConfig:
     hw_every: int = 4  # det-k-decomp check on every Nth hypergraph case
     fhw_every: int = 4  # fhw differential/chain check cadence (0 = never)
     portfolio_every: int = 0  # deterministic-portfolio check cadence (0 = off)
+    balanced_every: int = 4  # balanced-separator cross-check cadence
     metrics: Metrics | None = None
     tracer: object = NULL_TRACER
 
@@ -330,6 +333,35 @@ class _FaultInjector:
                 self.applied += 1
                 return
 
+    def stitch(self, dec, hypergraph: Hypergraph) -> None:
+        """Corrupt a balanced-stitched GHD the way a buggy stitcher
+        would: drop separator edges from a joint bag's λ-label so the
+        bag is no longer covered (χ ⊄ var(λ))."""
+        if self.fault != "stitch-drop-cover":
+            return
+        edges = hypergraph.edges
+        for node in sorted(dec.nodes, key=repr):
+            bag = dec.bag(node)
+            lam = dec.cover(node)
+            if not bag or not lam:
+                continue
+            for name in sorted(lam, key=repr):
+                smaller = lam - {name}
+                covered = set()
+                for other in smaller:
+                    covered |= edges.get(other, frozenset())
+                if bag - covered:
+                    dec.set_cover(node, smaller)
+                    self.applied += 1
+                    return
+        # Redundantly-covered everywhere: strip a whole λ-label, which
+        # uncovers any nonempty bag (the guaranteed-violation fallback).
+        for node in sorted(dec.nodes, key=repr):
+            if dec.bag(node):
+                dec.set_cover(node, frozenset())
+                self.applied += 1
+                return
+
     def htd(self, htd, hypergraph: Hypergraph) -> None:
         """Corrupt an HTD so that *only* the descendant condition breaks:
         grow a λ-label by an edge whose vertices reappear below."""
@@ -517,8 +549,49 @@ def _check_hypergraph(h: Hypergraph, case_seed: int, index: int,
             findings.extend(_check_detk(h, exact))
         if config.portfolio_every and index % config.portfolio_every == 0:
             findings.extend(_check_portfolio(h, "ghw", exact))
+    if config.balanced_every and index % config.balanced_every == 0:
+        findings.extend(_check_balanced(h, fault, exact))
     if config.fhw_every and index % config.fhw_every == 0:
         findings.extend(_check_fhw(h, fault, exact))
+    return findings
+
+
+def _check_balanced(h: Hypergraph, fault: "_FaultInjector",
+                    exact_ghw: int | None) -> list[_Finding]:
+    """The balanced-separator leg: ``repro.parallel.balanced_ghw``
+    against the exact A*/BB widths.
+
+    Balanced is an anytime *upper-bound* procedure whose every report
+    is certified, so the sound invariants are (a) the emitted
+    decomposition passes ``check_ghd`` at the claimed width and (b) the
+    width never undercuts the exact ghw.  Width above the exact value
+    is legal in general (the enumeration is capped by design) and is
+    deliberately not flagged.
+    """
+    from ..parallel import BalancedConfig, balanced_ghw
+
+    try:
+        result = balanced_ghw(h.copy(), BalancedConfig(deterministic=True))
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
+        return [_Finding("balanced-exception",
+                         f"{type(exc).__name__}: {exc}")]
+    findings: list[_Finding] = []
+    dec = result.decomposition
+    fault.stitch(dec, h)
+    problems = check_ghd(dec, h, claimed_width=result.width)
+    if problems:
+        findings.append(_Finding(
+            "balanced-certificate",
+            f"balanced_ghw width-{result.width} decomposition fails "
+            "check_ghd",
+            [str(p) for p in problems],
+        ))
+    if exact_ghw is not None and result.width < exact_ghw:
+        findings.append(_Finding(
+            "balanced-undercut",
+            f"balanced_ghw width {result.width} undercuts exact ghw "
+            f"{exact_ghw}",
+        ))
     return findings
 
 

@@ -29,6 +29,8 @@ _FAULT_SETUP = {
     "ga-undercut": {"ga_every": 1},
     "fhw-round": {"families": ("hyper", "circuit"), "fhw_every": 1},
     "fhw-integral-cache": {"families": ("hyper", "circuit"), "fhw_every": 1},
+    "stitch-drop-cover": {"families": ("hyper", "circuit"),
+                          "balanced_every": 1},
 }
 
 # Acceptance bar from the issue: every shrunk counterexample stays tiny.
