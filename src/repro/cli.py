@@ -6,6 +6,7 @@ Usage::
     python -m repro tw   <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro ghw  <instance-or-file> [--budget SECONDS] [--ga]
     python -m repro fhw  <instance-or-file> [--budget SECONDS] [--ga]
+    python -m repro hw   <instance-or-file> [--backend optk|detk|cdcl]
     python -m repro portfolio <instance-or-file> [--jobs N] [--budget S]
     python -m repro balanced <instance-or-file> [--workers N] [--budget S]
     python -m repro decompose <instance-or-file> [--output FILE]
@@ -265,14 +266,52 @@ def cmd_balanced(args: argparse.Namespace) -> int:
 
 
 def cmd_hw(args: argparse.Namespace) -> int:
-    from .search import hypertree_width
+    from .search import LadderExhausted
 
     structure = load_structure(args.instance)
     if isinstance(structure, Graph):
         structure = Hypergraph.from_graph(structure)
-    hw, htd = hypertree_width(structure, max_width=args.max_width)
-    print(f"hypertree width = {hw} "
-          f"(det-k-decomp, {htd.num_nodes} decomposition nodes)")
+    try:
+        if args.backend == "detk":
+            from .search import hypertree_width
+
+            hw, htd = hypertree_width(structure, max_width=args.max_width)
+            detail = f"det-k-decomp, {htd.num_nodes} decomposition nodes"
+        elif args.backend == "cdcl":
+            from .sat import cdcl_hypertree_width
+
+            result = cdcl_hypertree_width(
+                structure, max_width=args.max_width
+            )
+            if (args.max_width is not None
+                    and result.lower > args.max_width):
+                raise LadderExhausted(
+                    "no hypertree decomposition of width <= "
+                    f"{args.max_width}"
+                )
+            if not result.exact:
+                raise LadderExhausted(
+                    f"cdcl could not close the bracket "
+                    f"[{result.lower}, {result.upper}] within budget"
+                )
+            hw = result.upper
+            detail = (f"cdcl, {result.conflicts} conflicts, "
+                      f"{result.rungs} rungs")
+        else:
+            from .search import opt_k_hypertree_width
+
+            hw, htd = opt_k_hypertree_width(
+                structure, max_width=args.max_width
+            )
+            detail = f"opt-k-decomp, {htd.num_nodes} decomposition nodes"
+    except LadderExhausted as exc:
+        # An exhausted ladder means the question is OPEN, not answered —
+        # one diagnostic line on stderr and a distinct exit code, so
+        # scripts can tell "width cap too low / budget too small" apart
+        # from both a real width (0) and a crash (1).
+        print(f"error: hw: {exc}", file=sys.stderr)
+        return 2
+    print(f"hypertree width = {hw} ({detail})")
     return 0
 
 
@@ -530,11 +569,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_balanced)
 
     p = sub.add_parser(
-        "hw", help="compute the exact hypertree width (det-k-decomp)"
+        "hw",
+        help="compute the exact hypertree width "
+        "(opt-k-decomp, det-k-decomp or the CDCL SAT backend)",
     )
     p.add_argument("instance", help="instance name or file path")
     p.add_argument("--max-width", type=int, default=None,
-                   help="give up beyond this width")
+                   help="give up beyond this width (exit code 2 when the "
+                   "ladder exhausts without an answer)")
+    p.add_argument("--backend", choices=["optk", "detk", "cdcl"],
+                   default="optk",
+                   help="optk: descending certified ladder (default); "
+                   "detk: ascending det-k-decomp ladder; cdcl: the "
+                   "pure-python SAT solver with k-ladder assumptions")
     p.set_defaults(func=cmd_hw)
 
     p = sub.add_parser(
@@ -551,7 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", default=None,
                    help="comma-separated backend names "
                    "(default: full set for the metric)")
-    p.add_argument("--metric", choices=["tw", "ghw", "fhw"], default=None,
+    p.add_argument("--metric", choices=["tw", "ghw", "fhw", "hw"],
+                   default=None,
                    help="width metric (default: tw for graphs, "
                    "ghw for hypergraphs)")
     p.add_argument("--seed", type=int, default=0)

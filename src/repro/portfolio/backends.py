@@ -88,6 +88,11 @@ class BackendReport:
     GA).  ``events`` is the worker-local bound stream (filled in by the
     runner's worker shim).  ``error`` marks a worker that raised — all
     other fields are then meaningless.
+
+    ``witness`` is the decomposition payload
+    (:meth:`~repro.decomposition.htd.HypertreeDecomposition.to_payload`)
+    for metrics whose certificate is a tree rather than an elimination
+    ordering — the hw backends fill it and leave ``ordering`` None.
     """
 
     backend: str
@@ -101,6 +106,7 @@ class BackendReport:
     error: str | None = None
     events: list = field(default_factory=list)
     trace_records: list = field(default_factory=list)
+    witness: dict | None = None
 
 
 def _budget(config: BackendConfig, hooks: BoundHooks) -> SearchBudget:
@@ -277,6 +283,106 @@ def _run_minfill_ghw(structure, config: BackendConfig, hooks: BoundHooks):
     )
 
 
+# -- hw backends --------------------------------------------------------
+
+
+def _run_optk_hw(structure, config: BackendConfig, hooks: BoundHooks):
+    """opt-k-decomp: the descending certified ladder with cross-rung
+    (component, connector) dominance records.  Publishes every rung's
+    certified incumbent and consumes external bounds between rungs."""
+    from ..search.optkdecomp import opt_k_decomp
+
+    hypergraph = _as_hypergraph(structure)
+    result = opt_k_decomp(
+        hypergraph,
+        max_states=(
+            config.max_nodes if config.max_nodes is not None else 200000
+        ),
+        tracer=hooks.tracer,
+        hooks=hooks,
+    )
+    return BackendReport(
+        backend="optk-hw",
+        upper_bound=result.upper,
+        lower_bound=result.lower,
+        ordering=None,
+        exact=result.exact,
+        nodes=result.subproblems,
+        witness=(
+            result.decomposition.to_payload()
+            if result.decomposition is not None
+            else None
+        ),
+    )
+
+
+def _run_cdcl_hw(structure, config: BackendConfig, hooks: BoundHooks):
+    """The pure-python CDCL backend: one hw formula, incremental
+    k-ladder assumptions, learned clauses shared across rungs.  The
+    conflict budget plays the role of the node budget."""
+    from ..sat import cdcl_hypertree_width
+
+    hypergraph = _as_hypergraph(structure)
+    result = cdcl_hypertree_width(
+        hypergraph,
+        max_conflicts=(
+            config.max_nodes if config.max_nodes is not None else 100000
+        ),
+        tracer=hooks.tracer,
+        hooks=hooks,
+    )
+    return BackendReport(
+        backend="cdcl-hw",
+        upper_bound=result.upper,
+        lower_bound=result.lower,
+        ordering=None,
+        exact=result.exact,
+        nodes=result.conflicts,
+        witness=(
+            result.decomposition.to_payload()
+            if result.decomposition is not None
+            else None
+        ),
+    )
+
+
+def _run_minfill_hw(structure, config: BackendConfig, hooks: BoundHooks):
+    """The hw seed backend: a certified ``htd_from_ordering`` witness on
+    the min-fill ordering for the upper bound, the ghw lower-bound
+    battery (ghw ≤ hw) for the lower — published immediately."""
+    from ..decomposition.htd import htd_from_ordering
+
+    hypergraph = _as_hypergraph(structure)
+    rng = random.Random(config.seed)
+    if hypergraph.num_edges == 0:
+        return BackendReport(
+            backend="min-fill-hw", upper_bound=0, lower_bound=0,
+            ordering=None, exact=True,
+        )
+    lb = ghw_lower_bound(hypergraph, rng)
+    from ..bounds.upper import min_fill_ordering
+
+    ordering = min_fill_ordering(hypergraph, rng)
+    htd = htd_from_ordering(hypergraph, ordering)
+    problems = htd.violations(hypergraph)
+    if problems:  # pragma: no cover — htd_from_ordering certifies
+        raise AssertionError("min-fill hw witness invalid: " + problems[0])
+    ub = htd.ghw_width
+    if hooks.publish_lower is not None:
+        hooks.publish_lower(lb)
+    if hooks.publish_upper is not None:
+        hooks.publish_upper(ub)
+    return BackendReport(
+        backend="min-fill-hw",
+        upper_bound=ub,
+        lower_bound=lb,
+        ordering=None,
+        exact=lb >= ub,
+        nodes=0,
+        witness=htd.to_payload(),
+    )
+
+
 # -- fhw backends -------------------------------------------------------
 
 
@@ -417,6 +523,9 @@ BACKENDS: dict[str, BackendSpec] = {
         BackendSpec("astar-fhw", "fhw", _run_astar_fhw),
         BackendSpec("ga-fhw", "fhw", _run_ga_fhw),
         BackendSpec("min-fill-fhw", "fhw", _run_minfill_fhw),
+        BackendSpec("optk-hw", "hw", _run_optk_hw),
+        BackendSpec("cdcl-hw", "hw", _run_cdcl_hw),
+        BackendSpec("min-fill-hw", "hw", _run_minfill_hw),
         BackendSpec("crash", "any", _run_crash),
         BackendSpec("stall", "any", _run_stall),
     )
@@ -426,6 +535,7 @@ DEFAULT_BACKENDS: dict[str, tuple[str, ...]] = {
     "tw": ("astar-tw", "bb-tw", "ga-tw", "min-fill"),
     "ghw": ("bb-ghw", "astar-ghw", "ga-ghw", "min-fill-ghw"),
     "fhw": ("astar-fhw", "ga-fhw", "min-fill-fhw"),
+    "hw": ("optk-hw", "cdcl-hw", "min-fill-hw"),
 }
 
 

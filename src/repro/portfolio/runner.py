@@ -99,7 +99,7 @@ class PortfolioResult:
     point of the shared channel.
     """
 
-    metric: str  # "tw" | "ghw" | "fhw"
+    metric: str  # "tw" | "ghw" | "fhw" | "hw"
     upper_bound: Width
     lower_bound: Width
     exact: bool
@@ -112,6 +112,9 @@ class PortfolioResult:
     deterministic: bool
     trace_path: str | None = None
     trace_records: int = 0
+    # hw races witness by decomposition payload (ordering stays None);
+    # see BackendReport.witness.
+    witness: dict | None = None
 
     @property
     def width(self) -> Width:
@@ -213,9 +216,9 @@ def run_portfolio(
         raise ValueError("jobs must be at least 1")
     if metric is None:
         metric = "ghw" if isinstance(structure, Hypergraph) else "tw"
-    if metric not in ("tw", "ghw", "fhw"):
+    if metric not in ("tw", "ghw", "fhw", "hw"):
         raise ValueError(
-            f"unknown metric {metric!r} (use 'tw', 'ghw' or 'fhw')"
+            f"unknown metric {metric!r} (use 'tw', 'ghw', 'fhw' or 'hw')"
         )
     specs = resolve_backends(backends, metric)
     if deterministic and max_nodes is None:
@@ -461,4 +464,5 @@ def _aggregate(
         elapsed_seconds=elapsed,
         jobs=jobs,
         deterministic=deterministic,
+        witness=best.witness,
     )

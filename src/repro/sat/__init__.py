@@ -1,0 +1,31 @@
+"""A pure-python SAT layer for the hypertree-width backend.
+
+Two halves:
+
+* :mod:`repro.sat.solver` — a self-contained CDCL solver (two-watched
+  literals, 1UIP clause learning, VSIDS, Luby restarts, incremental
+  assumptions).  No third-party dependencies; built for the small CNFs
+  the width encodings produce, not for industrial instances.
+* :mod:`repro.sat.encoding` — the ordering-based CNF encoding of
+  ``hw(H) ≤ k`` (after the PACE-winning ordering encodings of
+  Schidler & Szeider), with a sequential-counter width ladder queried
+  through solver assumptions, and a model decoder that rebuilds the
+  witness :class:`~repro.decomposition.htd.HypertreeDecomposition`.
+"""
+
+from .encoding import (
+    CdclHwResult,
+    EncodingTooLarge,
+    HwFormula,
+    cdcl_hypertree_width,
+)
+from .solver import CDCLSolver, SolverStats
+
+__all__ = [
+    "CDCLSolver",
+    "SolverStats",
+    "HwFormula",
+    "CdclHwResult",
+    "EncodingTooLarge",
+    "cdcl_hypertree_width",
+]

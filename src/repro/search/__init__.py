@@ -6,7 +6,8 @@ from .astar_ghw import astar_ghw
 from .astar_tw import astar_treewidth, brute_force_treewidth
 from .bb_ghw import branch_and_bound_ghw, brute_force_ghw
 from .bb_tw import branch_and_bound_treewidth
-from .detkdecomp import det_k_decomp, hypertree_width
+from .detkdecomp import LadderExhausted, det_k_decomp, hypertree_width
+from .optkdecomp import OptKResult, opt_k_decomp, opt_k_hypertree_width
 from .common import (
     BoundHooks,
     BoundsConverged,
@@ -34,6 +35,8 @@ __all__ = [
     "BoundsConverged",
     "BudgetExceeded",
     "GraphReplayer",
+    "LadderExhausted",
+    "OptKResult",
     "SearchBudget",
     "SearchResult",
     "SearchStats",
@@ -48,6 +51,8 @@ __all__ = [
     "default_precedes",
     "det_k_decomp",
     "hypertree_width",
+    "opt_k_decomp",
+    "opt_k_hypertree_width",
     "find_reducible",
     "find_simplicial",
     "find_strongly_almost_simplicial",

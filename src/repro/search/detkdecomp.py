@@ -33,6 +33,14 @@ from ..setcover.bitcover import BitCoverEngine
 from ..telemetry import Metrics
 
 
+class LadderExhausted(RuntimeError):
+    """The width ladder hit its cap without finding a decomposition.
+
+    Raised by :func:`hypertree_width` when ``max_width`` is exhausted —
+    callers (the CLI in particular) must treat this as "no answer", not
+    as a width result."""
+
+
 class _Node:
     """One node of the decomposition under construction."""
 
@@ -87,16 +95,24 @@ def hypertree_width(
 ) -> tuple[int, HypertreeDecomposition]:
     """Exact hypertree width by trying k = 1, 2, ... upward.
 
-    Returns ``(hw, decomposition)``; raises :class:`RuntimeError` if
-    ``max_width`` is hit without success (or the state budget trips on
-    every k).
+    Returns ``(hw, decomposition)``; raises :class:`LadderExhausted`
+    (a RuntimeError) if ``max_width`` is hit without success.  A
+    ``max_width`` below 1 exhausts immediately: no ladder rung is ever
+    tried (every nonempty hypergraph has hw ≥ 1), instead of the old
+    behaviour of silently rounding the cap up to 1.
     """
-    limit = max_width if max_width is not None else hypergraph.num_edges
-    for k in range(1, max(limit, 1) + 1):
+    limit = (
+        max_width
+        if max_width is not None
+        else max(hypergraph.num_edges, 1)
+    )
+    for k in range(1, limit + 1):
         result = det_k_decomp(hypergraph, k, max_states)
         if result is not None:
             return k, result
-    raise RuntimeError(f"no hypertree decomposition of width <= {limit}")
+    raise LadderExhausted(
+        f"no hypertree decomposition of width <= {limit}"
+    )
 
 
 class _DetKDecomp:
@@ -182,32 +198,45 @@ class _DetKDecomp:
         return result
 
     def _separators(self, component, connector, scope_mask):
-        """Candidate λ sets: ≤ k edges touching the scope, at least one
-        from the component, jointly covering the connector.  Yielded
-        with their vertex masks, in a deterministic order, component
-        edges first (they make progress) — the same order as the
-        frozenset implementation (edge masks iterate in hypergraph
-        insertion order, sorted by the same key)."""
-        edge_mask = self.edge_mask
-        touching = sorted(
-            (
-                name
-                for name, mask in edge_mask.items()
-                if mask & scope_mask
-            ),
-            key=lambda name: (name not in component, repr(name)),
+        return _iter_separators(
+            self.edge_mask, self.engine, component, connector,
+            scope_mask, self.k,
         )
-        connector_mask = self.engine.mask_of(connector) if connector else 0
-        for size in range(1, self.k + 1):
-            for lam in itertools.combinations(touching, size):
-                lam_set = frozenset(lam)
-                if not (lam_set & component):
-                    continue
-                lam_vars_mask = 0
-                for name in lam:
-                    lam_vars_mask |= edge_mask[name]
-                if connector_mask & ~lam_vars_mask == 0:
-                    yield lam_set, lam_vars_mask
+
+
+def _iter_separators(
+    edge_mask: dict, engine: BitCoverEngine, component: frozenset,
+    connector: frozenset, scope_mask: int, k: int,
+):
+    """Candidate λ sets: ≤ k edges touching the scope, at least one
+    from the component, jointly covering the connector.  Yielded
+    with their vertex masks, in a deterministic order, component
+    edges first (they make progress) — the same order as the
+    frozenset implementation (edge masks iterate in hypergraph
+    insertion order, sorted by the same key).
+
+    Shared by det-k-decomp and opt-k-decomp so the two searches
+    enumerate identical separator sequences (the differential tests
+    rely on this)."""
+    touching = sorted(
+        (
+            name
+            for name, mask in edge_mask.items()
+            if mask & scope_mask
+        ),
+        key=lambda name: (name not in component, repr(name)),
+    )
+    connector_mask = engine.mask_of(connector) if connector else 0
+    for size in range(1, k + 1):
+        for lam in itertools.combinations(touching, size):
+            lam_set = frozenset(lam)
+            if not (lam_set & component):
+                continue
+            lam_vars_mask = 0
+            for name in lam:
+                lam_vars_mask |= edge_mask[name]
+            if connector_mask & ~lam_vars_mask == 0:
+                yield lam_set, lam_vars_mask
 
 
 def _edge_components(

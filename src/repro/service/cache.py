@@ -46,7 +46,7 @@ from ..verify import certify
 from ..widths import Width, as_width
 from .canonical import CanonicalForm
 
-METRICS = ("tw", "ghw", "fhw")
+METRICS = ("tw", "ghw", "fhw", "hw")
 
 
 @dataclass
@@ -60,7 +60,9 @@ class CacheEntry:
     upper: Width
     lower: Width
     exact: bool
-    ordering: tuple[int, ...]  # canonical indices
+    # Canonical certificate ordering; None for hw, whose witness is a
+    # decomposition payload verified at insert and not re-served.
+    ordering: tuple[int, ...] | None
     backend: str
     solve_seconds: float
     inserted_at: float = field(default_factory=time.monotonic)
@@ -96,15 +98,41 @@ def verify_witness(
     structure: Graph | Hypergraph,
     ordering,
     claimed_upper: Width,
+    witness: dict | None = None,
 ) -> list[str]:
-    """Check a claimed (ordering, upper bound) witness against
-    ``structure``; returns violation messages (empty = verified).
+    """Check a claimed witness against ``structure``; returns violation
+    messages (empty = verified).
+
+    Orderings witness tw/ghw/fhw; hw is witnessed by a decomposition
+    *payload* (``witness``, :meth:`HypertreeDecomposition.to_payload`
+    shaped) — it is rebuilt in the submitted structure's native labels
+    and put through :func:`repro.verify.check_htd`, descendant
+    condition included.
 
     Any exception while rebuilding the decomposition (ordering is not a
-    permutation, unknown vertices, ...) is itself a rejection — a
-    malformed certificate must never crash the gate it is probing.
+    permutation, unknown vertices, malformed payload, ...) is itself a
+    rejection — a malformed certificate must never crash the gate it is
+    probing.
     """
     try:
+        if metric == "hw":
+            from ..decomposition.htd import HypertreeDecomposition
+            from ..verify import check_htd
+
+            if witness is None:
+                return ["hw certificate requires a decomposition payload"]
+            hypergraph = (
+                structure
+                if isinstance(structure, Hypergraph)
+                else Hypergraph.from_graph(structure)
+            )
+            htd = HypertreeDecomposition.from_payload(witness)
+            return [
+                str(v)
+                for v in check_htd(
+                    htd, hypergraph, claimed_width=int(claimed_upper)
+                )
+            ]
         decomposition = build_decomposition(metric, structure, ordering)
         certificate = certify(
             decomposition, structure, claimed_width=as_width(claimed_upper)
@@ -166,15 +194,22 @@ class DecompositionCache:
         ordering,
         backend: str,
         solve_seconds: float = 0.0,
+        witness: dict | None = None,
     ) -> CacheEntry:
         """Verify the witness and admit it (evicting the LRU entry).
 
-        Raises :class:`CertificateRejected` — and counts it — when the
-        witness does not certify; the cache state is then unchanged.
+        tw/ghw/fhw verify their ``ordering``; hw verifies the
+        decomposition payload ``witness`` instead and stores
+        ``ordering=None`` (hw cache hits serve the verified width, not
+        the witness).  Raises :class:`CertificateRejected` — and counts
+        it — when the witness does not certify; the cache state is then
+        unchanged.
         """
         if metric not in METRICS:
             raise ValueError(f"unknown metric {metric!r}")
-        problems = verify_witness(metric, structure, ordering, upper)
+        problems = verify_witness(
+            metric, structure, ordering, upper, witness=witness
+        )
         if problems:
             self.rejected += 1
             raise CertificateRejected(
@@ -191,7 +226,11 @@ class DecompositionCache:
             upper=upper,
             lower=lower,
             exact=lower >= upper,
-            ordering=tuple(form.map_ordering_in(ordering)),
+            ordering=(
+                None
+                if metric == "hw"
+                else tuple(form.map_ordering_in(ordering))
+            ),
             backend=backend,
             solve_seconds=solve_seconds,
         )

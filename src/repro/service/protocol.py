@@ -5,7 +5,7 @@ The formats are deliberately plain so any language can speak them:
 
 Solve request::
 
-    {"op": "solve", "metric": "tw"|"ghw"|"fhw",
+    {"op": "solve", "metric": "tw"|"ghw"|"fhw"|"hw",
      "edges": [[v, ...], ...] | {"name": [v, ...], ...},
      "vertices": [...],          # optional isolated/extra vertices
      "budget": seconds,          # optional, clamped to the server max
@@ -23,8 +23,10 @@ upper bound) or ``"error"`` (machine-readable ``code`` + human
 ``error``; never a traceback) — the canonical ``key``, the ``cache``
 disposition (``hit`` / ``miss`` / ``coalesced``), bounds, and for
 witnessed answers the certificate ``ordering`` in the requester's own
-vertex labels.  Widths are JSON ints, or strings like ``"7/3"`` for
-rational fhw values (never floats — §repro.widths).
+vertex labels (``null`` for hw, whose witness is a decomposition
+verified server-side at insert and not re-served).  Widths are JSON
+ints, or strings like ``"7/3"`` for rational fhw values (never floats —
+§repro.widths).
 """
 
 from __future__ import annotations

@@ -89,6 +89,8 @@ class SolveOutcome:
     ordering: list | None
     backend: str
     exact: bool
+    # hw witnesses are decomposition payloads, not orderings.
+    witness: dict | None = None
 
 
 def portfolio_solver(structure, metric, budget, shared, config):
@@ -114,6 +116,7 @@ def portfolio_solver(structure, metric, budget, shared, config):
         ordering=result.ordering,
         backend=result.best_backend,
         exact=result.exact,
+        witness=result.witness,
     )
 
 
@@ -313,7 +316,7 @@ class DecompositionService:
         self.metrics.counter("service.requests").inc()
         try:
             metric = request.get("metric", "ghw")
-            if metric not in ("tw", "ghw", "fhw"):
+            if metric not in ("tw", "ghw", "fhw", "hw"):
                 raise ProtocolError(
                     UNSUPPORTED_METRIC, f"unsupported metric {metric!r}"
                 )
@@ -322,7 +325,7 @@ class DecompositionService:
                 max_vertices=self.config.max_vertices,
                 max_edges=self.config.max_edges,
             )
-            if metric in ("ghw", "fhw") and structure.isolated_vertices():
+            if metric in ("ghw", "fhw", "hw") and structure.isolated_vertices():
                 raise ProtocolError(
                     BAD_REQUEST,
                     f"no {metric} decomposition exists: isolated "
@@ -482,7 +485,12 @@ class DecompositionService:
             )
         solve_seconds = time.monotonic() - started
 
-        if outcome.upper is None or outcome.ordering is None:
+        witnessed = (
+            outcome.witness is not None
+            if metric == "hw"
+            else outcome.ordering is not None
+        )
+        if outcome.upper is None or not witnessed:
             # Witness-free bracket (e.g. every worker died and the
             # channel carried the incumbent): serve it, don't cache it.
             return self._bracket_response(
@@ -494,9 +502,14 @@ class DecompositionService:
                 metric, form, structure,
                 upper=outcome.upper,
                 lower=outcome.lower,
-                ordering=list(outcome.ordering),
+                ordering=(
+                    None
+                    if outcome.ordering is None
+                    else list(outcome.ordering)
+                ),
                 backend=outcome.backend,
                 solve_seconds=solve_seconds,
+                witness=outcome.witness,
             )
         except CertificateRejected as exc:
             # The solver's witness failed verification — never serve or
@@ -525,7 +538,11 @@ class DecompositionService:
             "exact": entry.exact,
             "certified": True,
             "backend": entry.backend,
-            "ordering": form.map_ordering_out(entry.ordering),
+            "ordering": (
+                None
+                if entry.ordering is None
+                else form.map_ordering_out(entry.ordering)
+            ),
         }
 
     def _bracket_response(

@@ -12,7 +12,9 @@ cross-examines everything they claim:
   spawns processes) must match the exact width.
 * **Bound soundness** — GA and min-fill upper bounds may be loose but
   never undercut the exact width; proven lower bounds never exceed
-  upper bounds; the det-k-decomp hypertree width never drops below ghw.
+  upper bounds; the hypertree width (det-k-decomp, opt-k-decomp and the
+  CDCL backend, which must also agree with each other) never drops
+  below ghw.
 * **Certificates** — every witness ordering is rebuilt into a
   decomposition and pushed through :mod:`repro.verify.certificate`
   (``check_td`` / ``check_ghd`` / ``check_htd`` with width accounting).
@@ -96,6 +98,12 @@ FAULTS: dict[str, str] = {
     "query with the integral cover size",
     "stitch-drop-cover": "the balanced stitcher drops separator edges "
     "from a joint bag's λ-label (coverage hole the certifier must flag)",
+    "sat-learn-drop": "the CDCL solver drops a literal from learned "
+    "clauses (unsound strengthening; wrong UNSAT answers diverge from "
+    "det-k-decomp, wrong models fail witness certification)",
+    "optk-descendant-forget": "an opt-k witness bag forgets a λ-vertex "
+    "that reappears in the subtree below (the χ-computation bug the "
+    "descendant condition exists to catch)",
 }
 
 
@@ -362,6 +370,33 @@ class _FaultInjector:
                 self.applied += 1
                 return
 
+    def optk(self, htd, hypergraph: Hypergraph) -> None:
+        """Corrupt an opt-k witness the way a buggy χ computation would:
+        drop from some bag a λ-vertex that reappears in the subtree
+        below it.  The descendant condition — var(λ(p)) ∩ χ(T_p) ⊆ χ(p)
+        — is then violated at exactly that node, which is the failure
+        mode a forgetful ``χ = var(λ) ∩ (Conn ∪ covered vars)``
+        implementation produces."""
+        if self.fault != "optk-descendant-forget":
+            return
+        root = htd.effective_root()
+        subtree = htd.subtree_variables(root)
+        parents = htd.rooted_parents(root)
+        edges = hypergraph.edges
+        for node in htd.topological_order(root):
+            lam_vars: set = set()
+            for name in htd.cover(node):
+                lam_vars |= edges[name]
+            below: set = set()
+            for child in htd.tree_neighbors(node):
+                if parents.get(child) == node:
+                    below |= subtree[child]
+            candidates = sorted(htd.bag(node) & lam_vars & below, key=repr)
+            if candidates:
+                htd.set_bag(node, htd.bag(node) - {candidates[0]})
+                self.applied += 1
+                return
+
     def htd(self, htd, hypergraph: Hypergraph) -> None:
         """Corrupt an HTD so that *only* the descendant condition breaks:
         grow a λ-label by an edge whose vertices reappear below."""
@@ -546,7 +581,7 @@ def _check_hypergraph(h: Hypergraph, case_seed: int, index: int,
                     f"GA-ghw fitness {fitness} undercuts exact ghw {exact}",
                 ))
         if config.hw_every and index % config.hw_every == 0:
-            findings.extend(_check_detk(h, exact))
+            findings.extend(_check_hw(h, exact, fault))
         if config.portfolio_every and index % config.portfolio_every == 0:
             findings.extend(_check_portfolio(h, "ghw", exact))
     if config.balanced_every and index % config.balanced_every == 0:
@@ -678,28 +713,124 @@ def _check_fhw(h: Hypergraph, fault: "_FaultInjector",
     return findings
 
 
-def _check_detk(h: Hypergraph, exact_ghw: int) -> list[_Finding]:
-    from ..search import hypertree_width
+def _check_hw(h: Hypergraph, exact_ghw: int,
+              fault: "_FaultInjector") -> list[_Finding]:
+    """The hypertree-width leg: det-k-decomp (the ascending reference
+    ladder), opt-k-decomp (descending, cross-rung records) and the CDCL
+    SAT backend must all land on one width; ``hw ≥ ghw`` always holds;
+    every emitted witness passes ``check_htd`` at its claimed width.
 
+    The CDCL solver runs under a conflict budget — when it cannot close
+    the bracket it reports ``exact=False`` and is exempted from the
+    differential (its bracket must still contain the true width)."""
+    from ..sat import cdcl_hypertree_width
+    from ..search import hypertree_width, opt_k_decomp
+
+    findings: list[_Finding] = []
     try:
-        hw, htd = hypertree_width(h.copy())
-    except Exception as exc:  # noqa: BLE001
+        det_hw, det_htd = hypertree_width(h.copy())
+        optk = opt_k_decomp(h.copy())
+        cdcl = cdcl_hypertree_width(
+            h.copy(), max_conflicts=20000,
+            corrupt_learned=fault.fault == "sat-learn-drop",
+        )
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
         return [_Finding("solver-exception",
-                         f"det-k-decomp: {type(exc).__name__}: {exc}")]
-    findings = []
-    problems = check_htd(htd, h, claimed_width=hw)
+                         f"hw: {type(exc).__name__}: {exc}")]
+    problems = check_htd(det_htd, h, claimed_width=det_hw)
     if problems:
         findings.append(_Finding(
             "htd-certificate",
             "det-k-decomp emitted an invalid hypertree decomposition",
             [str(p) for p in problems],
         ))
-    if hw < exact_ghw:
+    if det_hw < exact_ghw:
         findings.append(_Finding(
             "hw-undercut",
-            f"det-k-decomp hw {hw} undercuts ghw {exact_ghw}",
+            f"det-k-decomp hw {det_hw} undercuts ghw {exact_ghw}",
         ))
+    if optk.exact and optk.width != det_hw:
+        findings.append(_Finding(
+            "hw-differential",
+            f"opt-k-decomp hw {optk.width} != det-k-decomp hw {det_hw}",
+        ))
+    if optk.decomposition is not None:
+        fault.optk(optk.decomposition, h)
+        problems = check_htd(optk.decomposition, h,
+                             claimed_width=optk.upper)
+        if problems:
+            findings.append(_Finding(
+                "htd-certificate",
+                "opt-k-decomp emitted an invalid hypertree decomposition",
+                [str(p) for p in problems],
+            ))
+    if cdcl.exact and cdcl.upper != det_hw:
+        findings.append(_Finding(
+            "hw-differential",
+            f"cdcl hw {cdcl.upper} != det-k-decomp hw {det_hw}",
+        ))
+    if not cdcl.lower <= det_hw <= cdcl.upper:
+        findings.append(_Finding(
+            "hw-differential",
+            f"cdcl bracket [{cdcl.lower}, {cdcl.upper}] excludes the "
+            f"det-k-decomp hw {det_hw}",
+        ))
+    if cdcl.decomposition is not None:
+        problems = check_htd(cdcl.decomposition, h,
+                             claimed_width=cdcl.upper)
+        if problems:
+            findings.append(_Finding(
+                "htd-certificate",
+                "cdcl emitted an invalid hypertree decomposition",
+                [str(p) for p in problems],
+            ))
+    findings.extend(_check_cdcl_decision(h, det_hw, fault))
     return findings
+
+
+def _check_cdcl_decision(h: Hypergraph, det_hw: int,
+                         fault: "_FaultInjector") -> list[_Finding]:
+    """A direct decision query at the known width: ``k = det_hw`` is SAT
+    (det-k-decomp holds a witness), so an UNSAT answer is unsound and a
+    SAT model must decode into a valid width-≤-hw HTD.
+
+    This is the sharp seam for learned-clause corruption: dropping a
+    literal *strengthens* a clause, which can only wrongly prune models
+    — i.e. break exactly the SAT side this query pins down.  The full
+    ladder above often closes by bounds alone on tiny instances and
+    never runs the solver; this query always does."""
+    from ..sat import EncodingTooLarge, HwFormula
+    from ..sat.solver import SolverBudgetExceeded
+
+    try:
+        formula = HwFormula(
+            h, max_k=det_hw,
+            corrupt_learned=fault.fault == "sat-learn-drop",
+        )
+        sat = formula.solve(det_hw, max_conflicts=20000)
+    except (EncodingTooLarge, SolverBudgetExceeded):
+        return []  # budget-bound: no claim made, nothing to cross-examine
+    except Exception as exc:  # noqa: BLE001 — crashes are findings too
+        return [_Finding("solver-exception",
+                         f"cdcl decision: {type(exc).__name__}: {exc}")]
+    if fault.fault == "sat-learn-drop":
+        fault.applied += 1
+    if not sat:
+        return [_Finding(
+            "hw-differential",
+            f"cdcl decides width <= {det_hw} UNSAT but det-k-decomp "
+            "holds a witness",
+        )]
+    witness = formula.decode()
+    problems = check_htd(witness, h, claimed_width=det_hw)
+    if problems:
+        return [_Finding(
+            "htd-certificate",
+            "cdcl SAT model decodes to an invalid hypertree "
+            "decomposition",
+            [str(p) for p in problems],
+        )]
+    return []
 
 
 def _check_portfolio(structure, metric: str, exact: int) -> list[_Finding]:

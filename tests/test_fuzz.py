@@ -31,6 +31,9 @@ _FAULT_SETUP = {
     "fhw-integral-cache": {"families": ("hyper", "circuit"), "fhw_every": 1},
     "stitch-drop-cover": {"families": ("hyper", "circuit"),
                           "balanced_every": 1},
+    "sat-learn-drop": {"families": ("hyper", "circuit"), "hw_every": 1},
+    "optk-descendant-forget": {"families": ("hyper", "circuit"),
+                               "hw_every": 1},
 }
 
 # Acceptance bar from the issue: every shrunk counterexample stays tiny.

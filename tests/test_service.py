@@ -214,7 +214,7 @@ class TestWireProtocol:
         async def main():
             service = make_service(max_batch=2)
             cases = [
-                ({"op": "solve", "metric": "hw", "edges": [[1, 2]]},
+                ({"op": "solve", "metric": "thw", "edges": [[1, 2]]},
                  "unsupported-metric"),
                 ({"op": "solve", "metric": "tw"}, "bad-request"),
                 ({"op": "solve", "metric": "tw", "edges": "nope"},
